@@ -1,0 +1,25 @@
+"""Shared helpers for the per-figure benchmark suite.
+
+Each benchmark runs its experiment driver once (quick mode), prints a
+paper-vs-measured comparison, and asserts the *shape* of the paper's
+result — who wins, roughly by how much, where trends point. Absolute
+numbers are not asserted: the substrate is a simulator, not the
+authors' testbed (see EXPERIMENTS.md).
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+comparison tables inline).
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def banner(title: str, paper: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print(f"paper: {paper}")
+    print("=" * 72)

@@ -1,0 +1,61 @@
+"""Ablations of WGTT's design choices (DESIGN.md §5/6).
+
+The paper motivates each mechanism; these runs disable one at a time on
+the otherwise-identical 15 mph TCP drive and check the mechanism did
+what it is for. Throughput deltas for the subtler mechanisms are noisy
+at this scale, so assertions target the *mechanism's observable*:
+duplicate uplink copies removed, forwarded BAs applied, cross-channel
+deafness, switching still functioning under every metric.
+"""
+
+from conftest import banner, run_once
+
+from repro.experiments import ablations
+from repro.experiments.common import format_table
+
+
+def test_wgtt_design_ablations(benchmark):
+    result = run_once(benchmark, lambda: ablations.run(quick=True))
+    banner(
+        "Ablations: disable one WGTT mechanism at a time (15 mph, TCP)",
+        "multi-channel loses overhearing diversity (§7); fan-out, BA "
+        "forwarding and the median metric each support the full design",
+    )
+    print(
+        format_table(
+            result["rows"],
+            [
+                "variant", "throughput_mbps", "switches", "tcp_timeouts",
+                "ba_forward_applied", "dedup_duplicates",
+            ],
+        )
+    )
+    rows = {row["variant"]: row for row in result["rows"]}
+    paper = rows["paper"]
+
+    # Every variant still switches and moves data (no hard collapse).
+    for name, row in rows.items():
+        assert row["switches"] > 3, name
+        assert row["throughput_mbps"] > 0.5, name
+
+    # The full design's uplink diversity produces duplicate copies for
+    # the controller to remove; on disjoint channels overhearing (and
+    # with it the de-dup work) collapses.
+    assert paper["dedup_duplicates"] > 20
+    assert (
+        rows["multi-channel"]["dedup_duplicates"]
+        < 0.2 * paper["dedup_duplicates"]
+    )
+    # Losing the single-channel diversity costs real throughput (§7's
+    # argument for staying on one channel).
+    assert (
+        rows["multi-channel"]["throughput_mbps"]
+        < 0.8 * paper["throughput_mbps"]
+    )
+    # BA forwarding actually repairs exchanges in the full design.
+    assert paper["ba_forward_applied"] >= 1
+    assert rows["no-ba-forwarding"]["ba_forward_applied"] == 0
+    # The paper configuration is not dominated: it performs within 20%
+    # of the best variant of the day (and typically at the top).
+    best = max(row["throughput_mbps"] for row in rows.values())
+    assert paper["throughput_mbps"] > 0.8 * best

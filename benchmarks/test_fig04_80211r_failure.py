@@ -1,0 +1,47 @@
+"""Figure 4 — stock 802.11r cannot hand over in the picocell regime:
+the 20 mph handover fails outright; the 5 mph one happens far too late."""
+
+from conftest import banner, run_once
+
+from repro.experiments import fig04
+
+
+def test_fig04_stock_80211r_failure(benchmark):
+    result = run_once(benchmark, lambda: fig04.run(seed=3))
+    banner(
+        "Figure 4: stock 802.11r drive-by (2 APs, UDP CBR)",
+        "20 mph: handover fails, reception ends early; "
+        "5 mph: handover completes but late; capacity lost either way",
+    )
+    fast, slow = result["20mph"], result["5mph"]
+    for label, row in (("20 mph", fast), ("5 mph", slow)):
+        print(
+            f"{label:7} handover={'OK' if row['handover_completed'] else 'FAILED'}"
+            f"  at={row['handover_time_s']}"
+            f"  pkts={row['packets_received']}"
+            f"  loss={row['capacity_loss_mbps']:.1f} Mbit/s"
+            f"  (accum {row['accumulated_loss_mbit']:.0f} Mbit)"
+        )
+
+    # Shape: at 20 mph the handover is useless — it either never
+    # happens or happens only after the client has already driven past
+    # the crossover into (or beyond) AP2's cell, and reception
+    # collapses in the tail of the drive either way.
+    crossover_s = (13.75 - 4.0) / (20.0 * 0.44704)  # ~1.1 s
+    if fast["handover_completed"]:
+        assert fast["handover_time_s"] > 1.6 * crossover_s
+    seq_series = fast["received_seq_series"]
+    quarter = fast["duration_s"] * 1e6 / 4
+    peak_quarter = max(
+        sum(1 for t, _ in seq_series if i * quarter <= t < (i + 1) * quarter)
+        for i in range(4)
+    )
+    last_quarter = sum(1 for t, _ in seq_series if t >= 3 * quarter)
+    assert last_quarter < 0.35 * peak_quarter
+    # The slow drive eventually hands over, but late: well after the
+    # two cells' crossover point (~40% of the transit).
+    assert slow["handover_completed"]
+    assert slow["handover_time_s"] > 0.35 * slow["duration_s"]
+    # Capacity is lost in both runs.
+    assert fast["capacity_loss_mbps"] > 1.0
+    assert slow["capacity_loss_mbps"] > 0.5

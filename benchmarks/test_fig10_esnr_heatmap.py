@@ -1,0 +1,32 @@
+"""Figure 10 — the ESNR coverage heatmap: one cell per AP, centred on
+its boresight, overlapping neighbours by 6-10 m."""
+
+from conftest import banner, run_once
+
+from repro.experiments import fig10
+
+
+def test_fig10_coverage_heatmap(benchmark):
+    result = run_once(benchmark, lambda: fig10.run(seed=3))
+    banner(
+        "Figure 10: ESNR heatmap along the road",
+        "cells centred per AP; adjacent coverage overlaps 6-10 m",
+    )
+    for ap_id in sorted(result["coverage"]):
+        lo, hi = result["coverage"][ap_id]
+        print(f"{ap_id}: usable {lo}..{hi} m")
+    print("overlaps:", [round(o, 1) for o in result["overlaps_m"]])
+
+    # Shape: every AP covers a contiguous span centred near its mount,
+    # and neighbours overlap in the paper's band.
+    for i, ap_id in enumerate(sorted(result["coverage"], key=lambda a: int(a[2:]))):
+        lo, hi = result["coverage"][ap_id]
+        assert lo is not None
+        centre = (lo + hi) / 2
+        expected_x = 10.0 + 7.5 * i
+        assert abs(centre - expected_x) < 3.0
+    for overlap in result["overlaps_m"]:
+        assert 4.0 <= overlap <= 12.0
+    # ESNR is higher kerbside than across the road (beam aimed at kerb)
+    ap0 = result["heatmap"]["ap0"]
+    assert max(ap0[0]) >= max(ap0[-1]) - 1.0

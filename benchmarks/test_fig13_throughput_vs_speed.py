@@ -1,0 +1,52 @@
+"""Figure 13 — the headline: TCP/UDP throughput vs driving speed.
+
+Paper: WGTT roughly flat (~6.6 Mbit/s TCP, ~8.7 UDP) from 5-35 mph;
+Enhanced 802.11r decays with speed (TCP 2.7 -> 0.8); the gain lands at
+2.4-4.7x (TCP) and 2.6-4.0x (UDP) and grows with speed."""
+
+from conftest import banner, run_once
+
+from repro.experiments import fig13
+from repro.experiments.common import format_table
+
+
+def test_fig13_throughput_vs_speed(benchmark):
+    result = run_once(benchmark, lambda: fig13.run(quick=True))
+    banner(
+        "Figure 13: bulk throughput vs speed (both schemes)",
+        "WGTT flat across speeds; baseline decays; gain 2.4-4.7x TCP",
+    )
+    print(
+        format_table(
+            result["rows"],
+            [
+                "speed_mph",
+                "tcp_wgtt_mbps", "tcp_baseline_mbps", "tcp_gain",
+                "udp_wgtt_mbps", "udp_baseline_mbps", "udp_gain",
+            ],
+        )
+    )
+    rows = result["rows"]
+    by_speed = {row["speed_mph"]: row for row in rows}
+    fastest = max(by_speed)
+    slowest = min(by_speed)
+
+    # WGTT stays within a 2.5x band across speeds (flat-ish).
+    for protocol in ("tcp", "udp"):
+        wgtt = [row[f"{protocol}_wgtt_mbps"] for row in rows]
+        assert min(wgtt) > 0
+        assert max(wgtt) / min(wgtt) < 2.5
+        # the baseline decays with speed
+        assert (
+            by_speed[fastest][f"{protocol}_baseline_mbps"]
+            < by_speed[slowest][f"{protocol}_baseline_mbps"]
+        )
+        # the gain grows with speed
+        assert (
+            by_speed[fastest][f"{protocol}_gain"]
+            > by_speed[slowest][f"{protocol}_gain"]
+        )
+    # At cruising speed and above, WGTT wins by at least ~2x on TCP
+    # (the paper's band is 2.4-4.7x over 5-25 mph).
+    assert by_speed[15.0]["tcp_gain"] > 1.8
+    assert by_speed[fastest]["tcp_gain"] > 2.5

@@ -1,0 +1,42 @@
+"""Figure 14 — TCP timeseries at 15 mph: WGTT switches several times a
+second and holds throughput; the baseline collapses mid-transit and
+hits TCP timeouts."""
+
+from conftest import banner, run_once
+
+from repro.experiments import fig14
+
+
+def test_fig14_tcp_timeseries(benchmark):
+    result = run_once(
+        benchmark, lambda: fig14.run(seed=3, protocol="tcp", quick=False)
+    )
+    banner(
+        "Figure 14: TCP timeseries + association timeline (15 mph)",
+        "WGTT ~5 switches/s, stable ~5 Mbit/s; baseline drops to zero "
+        "and hits an RTO drought",
+    )
+    for scheme in ("wgtt", "baseline"):
+        row = result[scheme]
+        print(
+            f"{scheme:9} thr={row['throughput_mbps']:6.2f} Mbit/s  "
+            f"switches/s={row['switches_per_second']:4.1f}  "
+            f"timeouts at {[round(t,1) for t in row['tcp_timeout_times_s']]}"
+        )
+        print(
+            "          goodput/250ms:",
+            " ".join(f"{g:4.1f}" for g in row["goodput_series_mbps"][:24]),
+        )
+
+    wgtt, base = result["wgtt"], result["baseline"]
+    # WGTT switches an order of magnitude more often than the baseline.
+    assert wgtt["switches_per_second"] > 3 * base["switches_per_second"]
+    assert wgtt["switches_per_second"] >= 1.5
+    # WGTT clearly ahead on throughput.
+    assert wgtt["throughput_mbps"] > 1.8 * base["throughput_mbps"]
+    # The baseline stalls: long zero stretches in its goodput series.
+    zero_bins = sum(1 for g in base["goodput_series_mbps"] if g < 0.1)
+    assert zero_bins >= 4
+    # WGTT never has a comparably long blackout.
+    wgtt_zero = sum(1 for g in wgtt["goodput_series_mbps"] if g < 0.1)
+    assert wgtt_zero < zero_bins

@@ -1,0 +1,39 @@
+"""Figure 18 — three clients' uplink loss: WGTT's every-AP-forwards
+diversity keeps loss near zero; the baseline's single path spikes."""
+
+from conftest import banner, run_once
+
+from repro.experiments import fig18
+
+
+def test_fig18_uplink_loss(benchmark):
+    result = run_once(benchmark, lambda: fig18.run(seed=3, quick=False))
+    banner(
+        "Figure 18: uplink UDP loss, 3 clients at 15 mph",
+        "WGTT per-client loss stays near zero (<0.02 in the paper); "
+        "the single-path baseline spikes to 1.0 around handovers",
+    )
+    for scheme in ("wgtt", "baseline"):
+        row = result[scheme]
+        means = [round(x, 3) for x in row["mean_loss"]]
+        maxes = [round(x, 3) for x in row["max_loss"]]
+        print(f"{scheme:9} mean loss per client: {means}   max: {maxes}")
+    print(
+        "controller de-dup ratio (wgtt):",
+        round(result["wgtt"]["controller_duplicate_ratio"], 3),
+    )
+
+    wgtt, base = result["wgtt"], result["baseline"]
+    # Aggregate loss: WGTT's diversity crushes the single-path baseline.
+    # (Absolute WGTT loss is higher here than the paper's <0.02: our
+    # calibrated narrow beams leave genuinely weak uplink valleys —
+    # see EXPERIMENTS.md. The ordering and the gap are the claim.)
+    wgtt_mean = sum(wgtt["mean_loss"]) / len(wgtt["mean_loss"])
+    base_mean = sum(base["mean_loss"]) / len(base["mean_loss"])
+    assert wgtt_mean < 0.5 * base_mean
+    assert wgtt_mean < 0.35
+    # The baseline hits total-blackout bins; WGTT's worst stays lower.
+    assert max(base["max_loss"]) >= 0.9
+    assert max(wgtt["max_loss"]) < max(base["max_loss"]) + 1e-9
+    # The controller really did remove duplicate uplink copies.
+    assert result["wgtt"]["controller_duplicate_ratio"] > 0.0

@@ -1,0 +1,36 @@
+"""Figures 19/20 — two-client driving formations: opposing directions
+fare best (clients far apart), parallel worst (mutual carrier sense),
+and WGTT beats the baseline in every case."""
+
+from conftest import banner, run_once
+
+from repro.experiments import fig20
+from repro.experiments.common import format_table
+
+
+def test_fig20_driving_patterns(benchmark):
+    result = run_once(benchmark, lambda: fig20.run(quick=True))
+    banner(
+        "Figure 20: two-client driving patterns (15 mph)",
+        "opposing > following > parallel; WGTT above the baseline in "
+        "all three cases",
+    )
+    print(
+        format_table(
+            result["rows"],
+            [
+                "case",
+                "tcp_wgtt_mbps", "tcp_baseline_mbps",
+                "udp_wgtt_mbps", "udp_baseline_mbps",
+            ],
+        )
+    )
+    rows = {row["case"]: row for row in result["rows"]}
+    for case, row in rows.items():
+        assert row["tcp_wgtt_mbps"] > row["tcp_baseline_mbps"], case
+        assert row["udp_wgtt_mbps"] > row["udp_baseline_mbps"], case
+    # Opposing cars spend most of the drive far apart: best WGTT case.
+    assert (
+        rows["opposing"]["udp_wgtt_mbps"]
+        >= rows["parallel"]["udp_wgtt_mbps"] * 0.95
+    )

@@ -1,0 +1,25 @@
+"""Figure 22 — time hysteresis T for AP switching: smaller T adapts
+faster to the channel and yields higher TCP throughput."""
+
+from conftest import banner, run_once
+
+from repro.experiments import fig22
+from repro.experiments.common import format_table
+
+
+def test_fig22_time_hysteresis(benchmark):
+    result = run_once(benchmark, lambda: fig22.run(quick=True))
+    banner(
+        "Figure 22: TCP throughput vs switching hysteresis T (15 mph)",
+        "throughput grows as T shrinks from 120 ms to 40 ms",
+    )
+    print(format_table(result["rows"], ["hysteresis_ms", "throughput_mbps", "switches"]))
+
+    by_t = {row["hysteresis_ms"]: row for row in result["rows"]}
+    # Smaller hysteresis -> more switches.
+    assert by_t[40]["switches"] > by_t[120]["switches"]
+    # Smaller hysteresis -> at least as good throughput (paper: better).
+    assert by_t[40]["throughput_mbps"] >= 0.9 * by_t[120]["throughput_mbps"]
+    # All settings keep the link alive (never the baseline's collapse).
+    for row in result["rows"]:
+        assert row["throughput_mbps"] > 1.0

@@ -1,0 +1,34 @@
+"""Figure 24 — conferencing frame rate: the resolution-adaptive codec
+(Hangouts) sustains a much higher fps than the fixed one (Skype)."""
+
+from conftest import banner, run_once
+
+from repro.experiments import fig24
+
+
+def test_fig24_conferencing_fps(benchmark):
+    result = run_once(benchmark, lambda: fig24.run(seed=3, quick=False))
+    banner(
+        "Figure 24: video-conferencing fps CDF over WGTT",
+        "Skype ~20 fps at the 85th pct; Hangouts ~56 fps (it shrinks "
+        "frames under loss instead of dropping them)",
+    )
+    for key in sorted(result):
+        row = result[key]
+        print(
+            f"{key:18} median={row['median']:5.1f} fps  "
+            f"p85={row['p85']:5.1f} fps  "
+            f"(n={len(row['fps_series'])} seconds)"
+        )
+
+    for speed in ("5mph", "15mph"):
+        skype = result[f"skype-{speed}"]
+        hangouts = result[f"hangouts-{speed}"]
+        # The adaptive codec sustains a substantially higher frame rate.
+        assert hangouts["median"] > 1.4 * skype["median"]
+        # The call stays alive (at most a rare mid-valley silent second).
+        interior = skype["fps_series"][1:-1] or [1]
+        assert sum(interior) > 0
+        assert sum(1 for f in interior if f == 0) <= 2
+        assert hangouts["p85"] > 40
+        assert skype["p85"] <= 31  # bounded by its 30 fps capture rate

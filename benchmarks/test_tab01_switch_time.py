@@ -1,0 +1,24 @@
+"""Table 1 — the stop/start/ack switching protocol takes ~17-21 ms,
+roughly flat across 50-90 Mbit/s offered load."""
+
+from conftest import banner, run_once
+
+from repro.experiments import tab01
+from repro.experiments.common import format_table
+
+
+def test_tab01_switch_protocol_time(benchmark):
+    result = run_once(benchmark, lambda: tab01.run(seed=3, quick=True))
+    banner(
+        "Table 1: switching-protocol execution time vs offered load",
+        "mean 17-21 ms, std 3-5 ms at 50/60/70/80/90 Mbit/s",
+    )
+    print(format_table(result["rows"], ["rate_mbps", "switches", "mean_ms", "std_ms"]))
+
+    means = [row["mean_ms"] for row in result["rows"]]
+    stds = [row["std_ms"] for row in result["rows"]]
+    # Shape: low-tens of ms, flat across load, modest variance.
+    assert all(10.0 <= m <= 28.0 for m in means)
+    assert max(means) - min(means) < 6.0
+    assert all(s < 8.0 for s in stds)
+    assert all(row["switches"] >= 5 for row in result["rows"])

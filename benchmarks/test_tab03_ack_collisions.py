@@ -1,0 +1,29 @@
+"""Table 3 — everyone-answers block ACKs rarely collide: microsecond
+response jitter plus side-lobe discrimination keep the uplink clean."""
+
+from conftest import banner, run_once
+
+from repro.experiments import tab03
+from repro.experiments.common import format_table
+
+
+def test_tab03_ack_collision_rate(benchmark):
+    result = run_once(benchmark, lambda: tab03.run(seed=3, quick=False))
+    banner(
+        "Table 3: link-layer ACK collision rate (uplink UDP, parked)",
+        "collision-attributable loss is negligible "
+        "(paper: 0.001-0.004% of frames)",
+    )
+    print(
+        format_table(
+            result["rows"],
+            ["rate_mbps", "mpdus_sent", "ba_responses",
+             "ba_collision_rate_pct", "no_ba_rate_pct"],
+        )
+    )
+    for row in result["rows"]:
+        # Direct observation: BAs addressed to the client almost never
+        # overlap on the air (response-slot sensing + jitter works).
+        assert row["ba_collision_rate_pct"] < 1.0
+        assert row["ba_responses"] > 500
+        assert row["mpdus_sent"] > 5_000  # the load was really offered

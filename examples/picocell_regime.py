@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""The vehicular picocell regime (the paper's Figure 2).
+
+Samples the ESNR of three adjacent AP links at millisecond resolution
+while driving by at 25 mph, and shows how often the *best* AP changes —
+the observation that motivates millisecond-granularity switching.
+
+Run:  python examples/picocell_regime.py
+"""
+
+from repro.experiments import fig02
+
+
+def sparkline(values, lo=0.0, hi=30.0) -> str:
+    blocks = " .:-=+*#%@"
+    span = hi - lo
+    return "".join(
+        blocks[min(len(blocks) - 1, max(0, int((v - lo) / span * len(blocks))))]
+        for v in values
+    )
+
+
+def main() -> None:
+    result = fig02.run(seed=3, speed_mph=25.0)
+    series = result["esnr_series"]
+    window = slice(800, 960)  # a 160 ms detail view, like Fig 2's inset
+    print("ESNR during a 25 mph drive-by (160 ms detail, 1 ms samples)\n")
+    for ap_id in sorted(series):
+        print(f"  {ap_id}: {sparkline(series[ap_id][window])}")
+    best = result["best_ap"][window]
+    print(f"  best: {''.join(ap[-1] for ap in best)}\n")
+    print(f"Best-AP changes: {result['flips']} over the drive "
+          f"({result['flips_per_second']:.0f}/s overall, "
+          f"{result['contested_flips_per_second']:.0f}/s where the top "
+          f"two APs are within a fading swing)")
+    print(f"Mean dwell on one best AP: {result['mean_best_dwell_ms']:.1f} ms")
+    print("\nNo roaming scheme that decides on second-scale RSSI history "
+          "can follow this; that is the case for WGTT's design.")
+
+
+if __name__ == "__main__":
+    main()

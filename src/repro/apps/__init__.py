@@ -1,0 +1,27 @@
+"""Application workloads: bulk transfer, video, conferencing, web."""
+
+from repro.apps.bulk import BulkResult, run_bulk_download
+from repro.apps.conferencing import (
+    HANGOUTS,
+    SKYPE,
+    CodecProfile,
+    ConferencingReceiver,
+    ConferencingSender,
+)
+from repro.apps.video import HD_BITRATE_BPS, PREBUFFER_US, VideoPlayer
+from repro.apps.web import PAGE_BYTES, PageLoad
+
+__all__ = [
+    "BulkResult",
+    "run_bulk_download",
+    "HANGOUTS",
+    "SKYPE",
+    "CodecProfile",
+    "ConferencingReceiver",
+    "ConferencingSender",
+    "HD_BITRATE_BPS",
+    "PREBUFFER_US",
+    "VideoPlayer",
+    "PAGE_BYTES",
+    "PageLoad",
+]

@@ -1,0 +1,17 @@
+"""Comparison schemes: Enhanced 802.11r and stock 802.11r roaming."""
+
+from repro.baselines.enhanced_80211r import (
+    Baseline80211rAp,
+    BaselineWlc,
+    RoamingClientAgent,
+    RoamingConfig,
+    stock_80211r_config,
+)
+
+__all__ = [
+    "Baseline80211rAp",
+    "BaselineWlc",
+    "RoamingClientAgent",
+    "RoamingConfig",
+    "stock_80211r_config",
+]

@@ -1,0 +1,34 @@
+"""Radio channel models: path loss, antennas, fading, CSI, links."""
+
+from repro.channel.antenna import Antenna, OmniAntenna, ParabolicAntenna
+from repro.channel.csi import CsiReport
+from repro.channel.fading import (
+    NUM_SUBCARRIERS,
+    TappedRayleighChannel,
+    coherence_time_us,
+    doppler_hz,
+)
+from repro.channel.link import NOISE_FLOOR_DBM, ChannelMap, Link, RadioPort
+from repro.channel.pathloss import (
+    CHANNEL_11_HZ,
+    LogDistancePathLoss,
+    free_space_path_loss_db,
+)
+
+__all__ = [
+    "Antenna",
+    "OmniAntenna",
+    "ParabolicAntenna",
+    "CsiReport",
+    "NUM_SUBCARRIERS",
+    "TappedRayleighChannel",
+    "coherence_time_us",
+    "doppler_hz",
+    "NOISE_FLOOR_DBM",
+    "ChannelMap",
+    "Link",
+    "RadioPort",
+    "CHANNEL_11_HZ",
+    "LogDistancePathLoss",
+    "free_space_path_loss_db",
+]

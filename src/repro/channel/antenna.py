@@ -1,0 +1,84 @@
+"""Antenna gain patterns.
+
+Each WGTT AP uses a 14 dBi Laird parabolic antenna with a 21-degree
+half-power beamwidth, aimed at the road from a third-floor window. The
+main lobe is the usual Gaussian (quadratic-in-dB) approximation; off
+the main lobe the gain floors at a side-lobe level. The paper leans on
+those side lobes twice: they give adjacent APs their 6–10 m coverage
+overlap, and they weaken simultaneous client→AP ACKs enough that
+link-layer ACK collisions are rare (Table 3).
+
+Clients use low-gain omnidirectional antennas.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.mobility.road import Position
+
+
+class Antenna:
+    """Interface: gain in dBi towards a target position."""
+
+    def gain_dbi(self, target: Position) -> float:
+        raise NotImplementedError
+
+
+@dataclass
+class OmniAntenna(Antenna):
+    """Uniform gain in all directions (client device antenna)."""
+
+    peak_gain_dbi: float = 2.0
+
+    def gain_dbi(self, target: Position) -> float:
+        return self.peak_gain_dbi
+
+
+@dataclass
+class ParabolicAntenna(Antenna):
+    """Directional antenna with Gaussian main lobe and side-lobe floor.
+
+    Parameters
+    ----------
+    mount:
+        Where the antenna is installed.
+    boresight:
+        The point the antenna is aimed at (a spot on the road below).
+    beamwidth_deg:
+        Full half-power beamwidth; the Laird GD24BP is 21 degrees.
+    side_lobe_suppression_db:
+        How far below the peak the side lobes sit.
+    """
+
+    mount: Position
+    boresight: Position
+    peak_gain_dbi: float = 14.0
+    beamwidth_deg: float = 21.0
+    side_lobe_suppression_db: float = 18.0
+
+    def off_axis_angle_rad(self, target: Position) -> float:
+        """Angle between the boresight ray and the ray to ``target``."""
+        bore = _unit_vector(self.mount, self.boresight)
+        to_target = _unit_vector(self.mount, target)
+        dot = max(-1.0, min(1.0, sum(b * t for b, t in zip(bore, to_target))))
+        return math.acos(dot)
+
+    def gain_dbi(self, target: Position) -> float:
+        """Gain towards ``target``: quadratic main-lobe rolloff, floored."""
+        theta_deg = math.degrees(self.off_axis_angle_rad(target))
+        half_power_half_angle = self.beamwidth_deg / 2.0
+        rolloff_db = 3.0 * (theta_deg / half_power_half_angle) ** 2
+        rolloff_db = min(rolloff_db, self.side_lobe_suppression_db)
+        return self.peak_gain_dbi - rolloff_db
+
+
+def _unit_vector(origin: Position, target: Position) -> tuple:
+    dx = target.x - origin.x
+    dy = target.y - origin.y
+    dz = target.z - origin.z
+    norm = math.sqrt(dx * dx + dy * dy + dz * dz)
+    if norm == 0.0:
+        return (1.0, 0.0, 0.0)
+    return (dx / norm, dy / norm, dz / norm)

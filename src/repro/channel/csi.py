@@ -1,0 +1,58 @@
+"""Channel state information reports.
+
+On real WGTT hardware the Atheros CSI tool measures the complex gain of
+all 56 HT20 subcarriers on every received uplink frame; the AP wraps
+the measurement in a UDP packet and ships it to the controller over the
+Ethernet backhaul. This module is the simulated equivalent: a
+:class:`CsiReport` is produced by the link model whenever an AP decodes
+(or overhears) a client transmission, and consumed by the controller's
+AP-selection algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.phy.esnr import effective_snr_db
+
+
+@dataclass
+class CsiReport:
+    """One CSI measurement of a client→AP uplink frame.
+
+    Attributes
+    ----------
+    time_us:
+        When the AP measured the frame.
+    ap_id / client_id:
+        Identifiers of the measuring AP and the transmitting client.
+    subcarrier_snr_db:
+        Per-subcarrier SNR in dB (56 entries for HT20).
+    rssi_dbm:
+        Wideband received power, the quantity legacy 802.11k/r roaming
+        uses. Kept alongside the CSI so baselines share measurements.
+    """
+
+    time_us: int
+    ap_id: str
+    client_id: str
+    subcarrier_snr_db: np.ndarray
+    rssi_dbm: float
+    _esnr_cache: float = field(default=None, repr=False, compare=False)
+
+    @property
+    def esnr_db(self) -> float:
+        """Effective SNR of this measurement (computed once, cached)."""
+        if self._esnr_cache is None:
+            self._esnr_cache = effective_snr_db(self.subcarrier_snr_db)
+        return self._esnr_cache
+
+    def wire_size_bytes(self) -> int:
+        """Size of the CSI report UDP payload on the backhaul.
+
+        56 subcarriers x 2 bytes, plus identifiers and timestamp —
+        matches the compact encapsulation the paper describes.
+        """
+        return 56 * 2 + 24

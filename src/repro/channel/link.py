@@ -1,0 +1,256 @@
+"""Per-pair radio links: geometry + antennas + path loss + fading.
+
+A :class:`Link` answers the question every other layer asks of the
+channel: *if node A transmits to node B at time t, what per-subcarrier
+SNR does B see?* It combines
+
+* the transmit power of the sender,
+* both antenna gains along the current geometry (the client moves,
+  so gains are re-evaluated from the mobility model at every sample),
+* log-distance path loss, and
+* the tapped Rayleigh fading process, evolved lazily to ``t``.
+
+The fading taps are shared between the two directions of a pair —
+TDD channel reciprocity — which is precisely the property WGTT relies
+on when it predicts *downlink* deliverability from *uplink* CSI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.channel.antenna import Antenna
+from repro.channel.fading import (
+    NUM_SUBCARRIERS,
+    TappedRayleighChannel,
+    coherence_time_us,
+    doppler_hz,
+)
+from repro.channel.pathloss import LogDistancePathLoss
+from repro.mobility.road import Position
+from repro.phy.ber import linear_to_db
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+#: Thermal noise over 20 MHz plus a 7 dB receiver noise figure.
+NOISE_FLOOR_DBM = -94.0
+
+
+@dataclass
+class RadioPort:
+    """One radio endpoint (an AP's antenna port or a client device).
+
+    ``position_fn`` maps absolute simulation time to a position, so a
+    static AP passes a constant and a vehicle passes its track's
+    ``position_at``. ``speed_mps_fn`` feeds the Doppler model.
+    """
+
+    node_id: str
+    antenna: Antenna
+    tx_power_dbm: float
+    position_fn: Callable[[int], Position]
+    speed_mps_fn: Callable[[], float] = field(default=lambda: 0.0)
+
+    def position_at(self, time_us: int) -> Position:
+        return self.position_fn(time_us)
+
+
+class Link:
+    """The radio channel between one AP port and one client port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: RngRegistry,
+        ap: RadioPort,
+        client: RadioPort,
+        pathloss: Optional[LogDistancePathLoss] = None,
+        coherence_factor: float = 0.25,
+        rician_k_db: Optional[float] = None,
+    ):
+        self._sim = sim
+        self.ap = ap
+        self.client = client
+        self.pathloss = pathloss or LogDistancePathLoss()
+        self._coherence_factor = coherence_factor
+        self._fading = TappedRayleighChannel(
+            rng.stream(f"fading/{ap.node_id}/{client.node_id}"),
+            rician_k_db=rician_k_db,
+        )
+        self._cache_time: Optional[int] = None
+        self._cache_power: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # large-scale terms
+    # ------------------------------------------------------------------
+
+    def distance_m(self, time_us: int) -> float:
+        return self.ap.position_at(time_us).distance_to(
+            self.client.position_at(time_us)
+        )
+
+    def _combined_gain_db(self, time_us: int) -> float:
+        ap_pos = self.ap.position_at(time_us)
+        client_pos = self.client.position_at(time_us)
+        return self.ap.antenna.gain_dbi(client_pos) + self.client.antenna.gain_dbi(
+            ap_pos
+        )
+
+    def _tx_power_dbm(self, downlink: bool, tx_id: Optional[str]) -> float:
+        if tx_id is not None:
+            if tx_id == self.ap.node_id:
+                return self.ap.tx_power_dbm
+            if tx_id == self.client.node_id:
+                return self.client.tx_power_dbm
+            raise ValueError(f"{tx_id!r} is not an endpoint of this link")
+        return self.ap.tx_power_dbm if downlink else self.client.tx_power_dbm
+
+    def mean_snr_db(
+        self, time_us: int, downlink: bool = True, tx_id: Optional[str] = None
+    ) -> float:
+        """Average (fading-free) SNR of the link at ``time_us``.
+
+        The transmitter is named by ``tx_id`` (either endpoint), or by
+        the ``downlink`` flag for the common AP→client / client→AP case.
+        """
+        return (
+            self._tx_power_dbm(downlink, tx_id)
+            + self._combined_gain_db(time_us)
+            - self.pathloss.loss_db(self.distance_m(time_us))
+            - NOISE_FLOOR_DBM
+        )
+
+    def mean_rx_power_dbm(
+        self, time_us: int, downlink: bool = True, tx_id: Optional[str] = None
+    ) -> float:
+        """Average received power — the RSSI legacy roaming decides on."""
+        return self.mean_snr_db(time_us, downlink, tx_id) + NOISE_FLOOR_DBM
+
+    # ------------------------------------------------------------------
+    # small-scale terms
+    # ------------------------------------------------------------------
+
+    def _coherence_us(self) -> float:
+        speed = max(self.ap.speed_mps_fn(), self.client.speed_mps_fn())
+        doppler = doppler_hz(speed, self.pathloss.wavelength_m)
+        return coherence_time_us(doppler, self._coherence_factor)
+
+    def _subcarrier_power(self, time_us: int) -> np.ndarray:
+        """Fading power per subcarrier, evolved (and cached) for ``time_us``."""
+        if self._cache_time != time_us:
+            self._fading.evolve_to(time_us, self._coherence_us())
+            self._cache_power = self._fading.subcarrier_power()
+            self._cache_time = time_us
+        return self._cache_power
+
+    def subcarrier_snr_db(
+        self, time_us: int, downlink: bool = True, tx_id: Optional[str] = None
+    ) -> np.ndarray:
+        """Per-subcarrier SNR (dB): the CSI-equivalent channel snapshot."""
+        mean_db = self.mean_snr_db(time_us, downlink, tx_id)
+        return mean_db + linear_to_db(self._subcarrier_power(time_us))
+
+    def rssi_dbm(
+        self, time_us: int, downlink: bool = True, tx_id: Optional[str] = None
+    ) -> float:
+        """Instantaneous wideband received power including fading."""
+        fading_db = float(linear_to_db(np.mean(self._subcarrier_power(time_us))))
+        return self.mean_rx_power_dbm(time_us, downlink, tx_id) + fading_db
+
+    def probe_subcarrier_snr_db(
+        self, time_us: int, downlink: bool = True, tx_id: Optional[str] = None
+    ) -> np.ndarray:
+        """Side-effect-free channel probe for oracle metrics.
+
+        Unlike :meth:`subcarrier_snr_db`, this does not advance the
+        fading process or consume randomness — measuring ground truth
+        never changes the experiment.
+        """
+        if self._cache_time == time_us:
+            power = self._cache_power
+        else:
+            power = self._fading.peek_power_at(time_us, self._coherence_us())
+        mean_db = self.mean_snr_db(time_us, downlink, tx_id)
+        return mean_db + linear_to_db(power)
+
+    def snapshot(self, time_us: Optional[int] = None, downlink: bool = True):
+        """Convenience: subcarrier SNRs at 'now' (or an explicit time)."""
+        if time_us is None:
+            time_us = self._sim.now
+        return self.subcarrier_snr_db(time_us, downlink)
+
+
+class ChannelMap:
+    """Registry of every AP↔client link in a scenario.
+
+    The MAC-layer medium pulls links from here to decide decode success
+    and interference; the WGTT controller never touches it (it only
+    sees CSI reports, like the real system).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: RngRegistry,
+        pathloss: Optional[LogDistancePathLoss] = None,
+        coherence_factor: float = 0.25,
+        rician_k_db: Optional[float] = None,
+    ):
+        self._sim = sim
+        self._rng = rng
+        self._pathloss = pathloss or LogDistancePathLoss()
+        self._coherence_factor = coherence_factor
+        self._rician_k_db = rician_k_db
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._ports: Dict[str, RadioPort] = {}
+
+    def register_port(self, port: RadioPort) -> None:
+        if port.node_id in self._ports:
+            raise ValueError(f"duplicate radio port id {port.node_id!r}")
+        self._ports[port.node_id] = port
+
+    def port(self, node_id: str) -> RadioPort:
+        return self._ports[node_id]
+
+    def port_ids(self):
+        return self._ports.keys()
+
+    def link(self, a_id: str, b_id: str) -> Link:
+        """The (lazily created) link between any two radio ports.
+
+        The pair key is order-normalized so ``link(a, b)`` and
+        ``link(b, a)`` return the same object — the channel itself is
+        reciprocal; only transmit power depends on direction.
+        """
+        if a_id == b_id:
+            raise ValueError("a link needs two distinct endpoints")
+        key = (a_id, b_id) if a_id <= b_id else (b_id, a_id)
+        existing = self._links.get(key)
+        if existing is None:
+            existing = Link(
+                self._sim,
+                self._rng,
+                self._ports[key[0]],
+                self._ports[key[1]],
+                pathloss=self._pathloss,
+                coherence_factor=self._coherence_factor,
+                rician_k_db=self._rician_k_db,
+            )
+            self._links[key] = existing
+        return existing
+
+    def links_for_client(self, client_id: str):
+        """All instantiated links that involve ``client_id``."""
+        return [
+            link
+            for key, link in self._links.items()
+            if client_id in key
+        ]
+
+
+def subcarrier_count() -> int:
+    """Number of subcarriers in every CSI snapshot (56 for HT20)."""
+    return NUM_SUBCARRIERS

@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the common workflows:
+
+* ``drive``       — one drive-by under either scheme, summarized.
+* ``experiment``  — run a paper table/figure driver and print its rows.
+* ``list``        — enumerate the available experiment drivers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.experiments.common import format_table
+
+#: Experiment ids -> (module name, description).
+EXPERIMENTS = {
+    "fig02": "ESNR dynamics / best-AP flip rate",
+    "fig04": "stock 802.11r handover failure",
+    "tab01": "switching-protocol execution time",
+    "fig10": "ESNR coverage heatmap",
+    "fig13": "throughput vs speed, both schemes",
+    "fig14": "TCP timeseries + association timeline",
+    "fig15": "UDP timeseries + association timeline",
+    "fig16": "link bit-rate CDF",
+    "tab02": "switching accuracy",
+    "fig17": "per-client throughput, 1-3 clients",
+    "fig18": "multi-client uplink loss",
+    "fig20": "driving-pattern cases",
+    "fig21": "selection-window sweep",
+    "tab03": "block-ACK collision rate",
+    "fig22": "time-hysteresis sweep",
+    "fig23": "dense vs sparse segments",
+    "tab04": "video rebuffer ratio",
+    "fig24": "conferencing fps CDF",
+    "tab05": "web page load time",
+    "ablations": "WGTT design-choice ablations",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Wi-Fi Goes to Town (SIGCOMM 2017) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    drive = sub.add_parser("drive", help="run one drive-by and summarize")
+    drive.add_argument("--scheme", choices=("wgtt", "baseline"), default="wgtt")
+    drive.add_argument("--speed", type=float, default=15.0, metavar="MPH")
+    drive.add_argument(
+        "--protocol", choices=("tcp", "udp"), default="tcp"
+    )
+    drive.add_argument("--seconds", type=float, default=None)
+    drive.add_argument("--seed", type=int, default=3)
+    drive.add_argument("--udp-rate-mbps", type=float, default=50.0)
+
+    experiment = sub.add_parser(
+        "experiment", help="run a paper table/figure driver"
+    )
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--seed", type=int, default=3)
+    experiment.add_argument(
+        "--full", action="store_true",
+        help="full sweep instead of the quick one",
+    )
+    experiment.add_argument(
+        "--json", action="store_true", help="emit raw JSON instead of tables"
+    )
+
+    sub.add_parser("list", help="list available experiment drivers")
+    return parser
+
+
+def cmd_drive(args) -> int:
+    from repro.apps.bulk import run_bulk_download
+    from repro.scenarios.testbed import TestbedConfig
+
+    config = TestbedConfig(
+        seed=args.seed, scheme=args.scheme, client_speeds_mph=[args.speed]
+    )
+    result = run_bulk_download(
+        config,
+        protocol=args.protocol,
+        duration_s=args.seconds,
+        udp_rate_bps=args.udp_rate_mbps * 1e6,
+    )
+    print(
+        f"{args.scheme} / {args.protocol.upper()} at {args.speed:g} mph "
+        f"for {result.duration_s:.1f} s"
+    )
+    print(f"  throughput : {result.throughput_mbps:.2f} Mbit/s")
+    print(f"  switches   : {result.switch_count}")
+    if args.protocol == "tcp":
+        print(f"  timeouts   : {result.tcp_timeouts}")
+    series = " ".join(f"{g:.1f}" for g in result.goodput_series_mbps)
+    print(f"  goodput/s  : {series}")
+    return 0
+
+
+def _run_experiment(experiment_id: str, seed: int, quick: bool):
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{experiment_id}")
+    run = module.run
+    import inspect
+
+    kwargs = {}
+    signature = inspect.signature(run)
+    if "seed" in signature.parameters:
+        kwargs["seed"] = seed
+    if "quick" in signature.parameters:
+        kwargs["quick"] = quick
+    return run(**kwargs)
+
+
+def cmd_experiment(args) -> int:
+    result = _run_experiment(args.id, args.seed, quick=not args.full)
+    if args.json:
+        print(json.dumps(result, default=_json_default, indent=2))
+        return 0
+    if isinstance(result, dict) and "rows" in result:
+        rows = result["rows"]
+        columns = list(rows[0].keys()) if rows else []
+        print(format_table(rows, columns))
+    else:
+        print(json.dumps(_summarize(result), default=_json_default, indent=2))
+    return 0
+
+
+def _summarize(value, depth=0):
+    """Keep CLI output readable: elide long series at the top levels."""
+    if isinstance(value, dict):
+        return {k: _summarize(v, depth + 1) for k, v in value.items()}
+    if isinstance(value, (list, tuple)) and len(value) > 12:
+        return f"<{len(value)} values>"
+    return value
+
+
+def _json_default(value):
+    try:
+        import numpy as np
+
+        if isinstance(value, np.generic):
+            return value.item()
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+    except ImportError:  # pragma: no cover
+        pass
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    return str(value)
+
+
+def cmd_list(_args) -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for key in sorted(EXPERIMENTS):
+        print(f"{key.ljust(width)}  {EXPERIMENTS[key]}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "drive": cmd_drive,
+        "experiment": cmd_experiment,
+        "list": cmd_list,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:  # e.g. `wgtt-repro list | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

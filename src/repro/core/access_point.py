@@ -1,0 +1,352 @@
+"""The WGTT access point (paper §3, §4.2).
+
+A thin wrapper around a :class:`~repro.mac.WifiDevice` that adds every
+AP-side WGTT behaviour:
+
+* per-client cyclic queues fed by the controller's downlink fan-out,
+* the stop / start(c, k) sides of the switching protocol, with the
+  kernel-ioctl index query and driver-queue filtering the paper
+  implements in ``ieee80211_ops_tx()``,
+* CSI measurement on every overheard client frame, forwarded to the
+  controller,
+* uplink packet forwarding (every decoded client datagram is tunneled
+  to the controller, which de-duplicates),
+* block-ACK forwarding: overheard BAs answering another AP's aggregate
+  are shipped to the serving AP; incoming forwarded BAs are applied
+  after the seen-before check,
+* association-state replication (hostapd sta_info sync).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+import numpy as np
+
+from repro.channel.csi import CsiReport
+from repro.core.assoc_sync import STA_SYNC_WIRE_BYTES, AssociationDirectory, StaInfo
+from repro.core.ba_forwarding import (
+    BA_FORWARD_WIRE_BYTES,
+    BaSeenCache,
+    ForwardedBa,
+)
+from repro.core.config import WgttConfig
+from repro.core.cyclic_queue import CyclicQueue
+from repro.core.switching import AckMsg, StartMsg, StopMsg
+from repro.mac.frames import BlockAckFrame
+from repro.mac.medium import WirelessMedium
+from repro.mac.wifi_device import WifiDevice
+from repro.net.backhaul import EthernetBackhaul
+from repro.net.packet import Packet
+from repro.net.tunnel import tunnel_wire_size
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+
+class WgttAccessPoint:
+    """One roadside WGTT AP."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: WirelessMedium,
+        backhaul: EthernetBackhaul,
+        rng: RngRegistry,
+        ap_id: str,
+        config: Optional[WgttConfig] = None,
+        controller_id: str = "controller",
+    ):
+        self._sim = sim
+        self._backhaul = backhaul
+        self._config = config or WgttConfig()
+        self.ap_id = ap_id
+        self._controller_id = controller_id
+        self._rng = rng.stream(f"wgtt-ap/{ap_id}")
+
+        self.device = WifiDevice(
+            sim,
+            medium,
+            rng,
+            ap_id,
+            role="ap",
+            addresses={self._config.bssid},
+            monitor=True,
+            response_jitter_us=self._config.ba_response_jitter_us,
+        )
+        self.device.ta_address = self._config.bssid
+        self.device.on_refill_needed = self._refill
+        self.device.on_overheard_block_ack = self._overheard_ba
+        self.device.on_ba_processed = self._local_ba_processed
+        self.device.on_csi = self._csi_measured
+        self.device.on_packet = self._uplink_received
+        self.device.on_mgmt = self._mgmt_received
+
+        self.directory = AssociationDirectory()
+        self._cyclic: Dict[str, CyclicQueue] = {}
+        self._serving: Set[str] = set()
+        #: Controller-published map of which AP serves each client.
+        self._serving_view: Dict[str, str] = {}
+        self._ba_seen = BaSeenCache()
+        self._refilling = False
+
+        self.stats = {
+            "stops_handled": 0,
+            "starts_handled": 0,
+            "packets_dropped_at_stop": 0,
+            "cyclic_dropped_on_advance": 0,
+            "ba_forwarded": 0,
+            "ba_forward_applied": 0,
+            "ba_forward_duplicate": 0,
+            "uplink_forwarded": 0,
+            "csi_reports": 0,
+        }
+        backhaul.register(ap_id, self._on_backhaul)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def cyclic_queue(self, client_id: str) -> CyclicQueue:
+        queue = self._cyclic.get(client_id)
+        if queue is None:
+            queue = CyclicQueue(self._config.cyclic_queue_size)
+            self._cyclic[client_id] = queue
+        return queue
+
+    def is_serving(self, client_id: str) -> bool:
+        return client_id in self._serving
+
+    def start_serving(self, client_id: str) -> None:
+        """Adopt transmission duty directly (initial association)."""
+        self._serving.add(client_id)
+        self.device.reset_tx_state(client_id, self.cyclic_queue(client_id).head)
+        self.device.set_session_mode(client_id, "active")
+        self._refill(client_id, self.device.queue_room(client_id))
+
+    # ------------------------------------------------------------------
+    # backhaul dispatch
+    # ------------------------------------------------------------------
+
+    def _on_backhaul(self, src: str, kind: str, payload: object) -> None:
+        if kind == "data":
+            client_id, index, packet = payload
+            self._downlink_data(client_id, index, packet)
+        elif kind == "stop":
+            self._handle_stop(payload)
+        elif kind == "start":
+            self._handle_start(payload)
+        elif kind == "ba-fwd":
+            self._handle_forwarded_ba(payload)
+        elif kind == "sta-sync":
+            self.directory.admit(payload)
+        elif kind == "serving-update":
+            client_id, ap_id = payload
+            self._serving_view[client_id] = ap_id
+
+    # ------------------------------------------------------------------
+    # downlink: fan-out intake and radio refill
+    # ------------------------------------------------------------------
+
+    def _downlink_data(self, client_id: str, index: int, packet: Packet) -> None:
+        self.cyclic_queue(client_id).insert(index, packet)
+        if client_id in self._serving:
+            self._refill(client_id, self.device.queue_room(client_id))
+
+    def _refill(self, client_id: str, room: int = 0) -> None:
+        """Top up the radio's service queue from the cyclic queue.
+
+        Re-entrancy guard: enqueueing kicks the device, which asks for
+        refills again — the inner call must be a no-op or the outer
+        loop's stale room estimate would push packets into a full
+        queue and lose them.
+        """
+        if client_id not in self._serving or self._refilling:
+            return
+        queue = self._cyclic.get(client_id)
+        if queue is None:
+            return
+        self._refilling = True
+        try:
+            while self.device.queue_room(client_id) > 0:
+                entry = queue.pop_head()
+                if entry is None:
+                    break
+                index, packet = entry
+                packet.meta["wgtt_index"] = index
+                self.device.enqueue(packet, client_id)
+        finally:
+            self._refilling = False
+
+    # ------------------------------------------------------------------
+    # switching protocol, AP side
+    # ------------------------------------------------------------------
+
+    def _handle_stop(self, message: StopMsg) -> None:
+        """stop(c): cease serving; find k; send start(c, k) to the target.
+
+        The in-flight aggregate (the NIC hardware queue) is allowed to
+        finish over the air — the paper lets AP1 drain ~6 ms of NIC
+        backlog on its inferior link rather than discard it. Everything
+        still in the software queues is filtered out; its first index
+        becomes k.
+        """
+        self.stats["stops_handled"] += 1
+        client_id = message.client
+        self._serving.discard(client_id)
+        # Drain mode: whatever is already on the scoreboard (the NIC
+        # hardware queue, in the paper's terms) may still go out over
+        # the inferior link — ~6 ms of airtime — but nothing new is
+        # pulled. The software-queue backlog is filtered out; its first
+        # index is k.
+        self.device.set_session_mode(client_id, "drain")
+        session = self.device.session(client_id)
+        backlog = session.queue.drain()
+        self.stats["packets_dropped_at_stop"] += len(backlog)
+
+        def end_drain():
+            if client_id in self._serving:
+                return  # duty came back before the drain window closed
+            session.ba_timer.stop()
+            session.awaiting = None
+            abandoned = session.scoreboard.abandon_all()
+            self.stats["packets_dropped_at_stop"] += abandoned
+            self.device.set_session_mode(client_id, "off")
+
+        self._sim.schedule(self._config.nic_drain_us, end_drain)
+        if backlog:
+            k = backlog[0].meta.get("wgtt_index", self.cyclic_queue(client_id).head)
+        else:
+            k = self.cyclic_queue(client_id).head
+        delay = self._stop_processing_delay_us()
+        start = StartMsg(
+            client=client_id,
+            index=k,
+            switch_id=message.switch_id,
+            from_ap=self.ap_id,
+        )
+        self._sim.schedule(
+            delay,
+            lambda: self._backhaul.send_control(
+                self.ap_id, message.target_ap, "start", start
+            ),
+        )
+
+    def _stop_processing_delay_us(self) -> int:
+        """ioctl round trip + user-level Click handling (calibrated)."""
+        mean = self._config.stop_processing_mean_us
+        jitter = self._config.stop_processing_jitter_us
+        return max(500, int(self._rng.normal(mean, jitter / 2.0)))
+
+    def _handle_start(self, message: StartMsg) -> None:
+        self.stats["starts_handled"] += 1
+        client_id = message.client
+        dropped = self.cyclic_queue(client_id).advance_to(message.index)
+        self.stats["cyclic_dropped_on_advance"] += dropped
+
+        def activate():
+            ack = AckMsg(
+                client=client_id, ap=self.ap_id, switch_id=message.switch_id
+            )
+            self._backhaul.send_control(self.ap_id, self._controller_id, "ack", ack)
+            self._serving.add(client_id)
+            # Continue the client's shared sequence space from k: the
+            # 12-bit WGTT index doubles as the MAC sequence number, so
+            # the client's block-ACK/reorder state survives the switch.
+            self.device.reset_tx_state(client_id, message.index)
+            self.device.set_session_mode(client_id, "active")
+            self._refill(client_id, self.device.queue_room(client_id))
+
+        self._sim.schedule(self._config.start_processing_us, activate)
+
+    # ------------------------------------------------------------------
+    # uplink: CSI, data forwarding, BA forwarding
+    # ------------------------------------------------------------------
+
+    def _csi_measured(
+        self, client_id: str, snr_db: np.ndarray, rssi_dbm: float
+    ) -> None:
+        report = CsiReport(
+            time_us=self._sim.now,
+            ap_id=self.ap_id,
+            client_id=client_id,
+            subcarrier_snr_db=snr_db,
+            rssi_dbm=rssi_dbm,
+        )
+        self.stats["csi_reports"] += 1
+        self._backhaul.send(
+            self.ap_id,
+            self._controller_id,
+            "csi",
+            report,
+            size_bytes=report.wire_size_bytes(),
+        )
+
+    def _uplink_received(self, packet: Packet, from_addr: str) -> None:
+        self.stats["uplink_forwarded"] += 1
+        self._backhaul.send(
+            self.ap_id,
+            self._controller_id,
+            "uplink",
+            packet,
+            size_bytes=tunnel_wire_size(packet, downlink=False),
+        )
+
+    def _overheard_ba(self, frame: BlockAckFrame) -> None:
+        if not self._config.ba_forwarding_enabled:
+            return
+        client_id = frame.ta
+        serving_ap = self._serving_view.get(client_id)
+        if serving_ap is None or serving_ap == self.ap_id:
+            return
+        forwarded = ForwardedBa(
+            client=client_id,
+            start_seq=frame.start_seq,
+            acked=frozenset(frame.acked),
+            heard_by=self.ap_id,
+            heard_at_us=self._sim.now,
+        )
+        self.stats["ba_forwarded"] += 1
+        self._backhaul.send(
+            self.ap_id,
+            serving_ap,
+            "ba-fwd",
+            forwarded,
+            size_bytes=BA_FORWARD_WIRE_BYTES,
+        )
+
+    def _local_ba_processed(self, frame: BlockAckFrame) -> None:
+        self._ba_seen.record_local(
+            frame.ta, frame.start_seq, set(frame.acked), self._sim.now
+        )
+
+    def _handle_forwarded_ba(self, forwarded: ForwardedBa) -> None:
+        if not self._ba_seen.check_and_record(forwarded, self._sim.now):
+            self.stats["ba_forward_duplicate"] += 1
+            return
+        result = self.device.apply_block_ack_info(
+            forwarded.client, set(forwarded.acked)
+        )
+        if result["delivered"]:
+            self.stats["ba_forward_applied"] += 1
+
+    # ------------------------------------------------------------------
+    # association
+    # ------------------------------------------------------------------
+
+    def _mgmt_received(self, frame) -> None:
+        if frame.subtype != "assoc-req":
+            return
+        client_id = frame.ta
+        if self.directory.is_associated(client_id):
+            return
+        info = StaInfo(
+            client=client_id,
+            associated_at_us=self._sim.now,
+            first_ap=self.ap_id,
+        )
+        self.directory.admit(info)
+        # Replicate sta_info to every AP and the controller (§4.3).
+        self._backhaul.broadcast(
+            self.ap_id, "sta-sync", info, size_bytes=STA_SYNC_WIRE_BYTES
+        )
+        self.device.send_mgmt("assoc-resp", client_id)

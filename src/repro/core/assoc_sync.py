@@ -1,0 +1,54 @@
+"""Client-association synchronization (paper §4.3, Figure 12).
+
+All WGTT APs present one BSSID, so the client associates once. The AP
+that completes the association replicates the client's ``sta_info``
+(addresses, authorization state) to every other AP over the backhaul —
+the paper patches hostapd to do this with a TCP connection per peer.
+Here the directory is the per-AP view of which clients are admitted;
+replication is a broadcast backhaul message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+#: Wire size of one replicated sta_info record.
+STA_SYNC_WIRE_BYTES = 256
+
+
+@dataclass
+class StaInfo:
+    """Replicated association state for one client."""
+
+    client: str
+    associated_at_us: int
+    first_ap: str
+    authorized: bool = True
+
+
+class AssociationDirectory:
+    """One AP's (or the controller's) view of admitted clients."""
+
+    def __init__(self):
+        self._records: Dict[str, StaInfo] = {}
+
+    def is_associated(self, client_id: str) -> bool:
+        record = self._records.get(client_id)
+        return record is not None and record.authorized
+
+    def admit(self, info: StaInfo) -> bool:
+        """Install a record; returns False if already present."""
+        if info.client in self._records:
+            return False
+        self._records[info.client] = info
+        return True
+
+    def get(self, client_id: str) -> StaInfo:
+        return self._records[client_id]
+
+    def remove(self, client_id: str) -> None:
+        self._records.pop(client_id, None)
+
+    def clients(self) -> Set[str]:
+        return set(self._records)

@@ -1,0 +1,64 @@
+"""Block-ACK forwarding support (paper §3.2.1, Figure 8).
+
+A non-serving AP that overhears a client's block ACK extracts the
+client address, the starting sequence number, and the bitmap, and ships
+them to the serving AP over the backhaul. The serving AP must ignore
+information it has already applied — whether it came off its own NIC or
+from another AP — so both sides share this small dedup/encoding module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Set, Tuple
+
+#: Forwarded-BA UDP payload: addresses + start seq + 8-byte bitmap.
+BA_FORWARD_WIRE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class ForwardedBa:
+    """The block-ACK information one AP forwards to another."""
+
+    client: str
+    start_seq: int
+    acked: FrozenSet[int]
+    heard_by: str
+    heard_at_us: int
+
+    def key(self) -> Tuple[str, int, FrozenSet[int]]:
+        return (self.client, self.start_seq, self.acked)
+
+
+class BaSeenCache:
+    """Remembers recently applied BA information (bounded, time-pruned)."""
+
+    def __init__(self, horizon_us: int = 50_000):
+        self.horizon_us = horizon_us
+        self._seen: dict = {}
+
+    def check_and_record(self, ba: ForwardedBa, now_us: int) -> bool:
+        """True if this BA information is new (and records it)."""
+        self._prune(now_us)
+        key = ba.key()
+        if key in self._seen:
+            return False
+        self._seen[key] = now_us
+        return True
+
+    def record_local(
+        self, client: str, start_seq: int, acked: Set[int], now_us: int
+    ) -> None:
+        """Note a BA received on the local NIC so a forwarded copy of
+        the same BA is dropped later."""
+        self._prune(now_us)
+        self._seen[(client, start_seq, frozenset(acked))] = now_us
+
+    def _prune(self, now_us: int) -> None:
+        horizon = now_us - self.horizon_us
+        stale = [k for k, t in self._seen.items() if t < horizon]
+        for key in stale:
+            del self._seen[key]
+
+    def __len__(self) -> int:
+        return len(self._seen)

@@ -1,0 +1,239 @@
+"""The WGTT controller (paper Figure 5, control plane).
+
+One commodity Linux box on the Ethernet backhaul runs everything:
+
+* **CSI ingestion** — every AP forwards a CSI report per overheard
+  client frame; the controller computes ESNR and feeds the selector.
+* **AP selection** — maximal median ESNR over the sliding window, with
+  time hysteresis (§3.1.1).
+* **Downlink fan-out** — each downlink datagram gets a 12-bit index and
+  is tunneled to every AP in the client's fan-out set (§3.1.2).
+* **Switching** — the stop/start/ack coordinator (§3.1.2).
+* **Uplink de-duplication** — first copy wins, by (source, IP-ID)
+  (§3.2.2–3.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.channel.csi import CsiReport
+from repro.core.assoc_sync import AssociationDirectory, StaInfo
+from repro.core.config import WgttConfig
+from repro.core.cyclic_queue import IndexAllocator
+from repro.core.dedup import PacketDeduplicator
+from repro.core.selection import ApSelector
+from repro.core.switching import AckMsg, SwitchCoordinator, SwitchRecord
+from repro.net.backhaul import EthernetBackhaul
+from repro.net.packet import Packet
+from repro.net.tunnel import tunnel_wire_size
+from repro.sim.engine import Simulator, Timer
+from repro.sim.rng import RngRegistry
+
+
+class ClientState:
+    """Controller-side per-client bookkeeping."""
+
+    def __init__(self, client_id: str, serving_ap: str, now_us: int):
+        self.client_id = client_id
+        self.serving_ap = serving_ap
+        self.last_switch_us = now_us
+        self.last_selection_check_us = -(10**9)
+
+
+class WgttController:
+    """Central coordinator of the AP array."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        backhaul: EthernetBackhaul,
+        rng: RngRegistry,
+        config: Optional[WgttConfig] = None,
+        controller_id: str = "controller",
+    ):
+        self._sim = sim
+        self._backhaul = backhaul
+        self._config = config or WgttConfig()
+        self.controller_id = controller_id
+        self.selector = ApSelector(
+            self._config.selection_window_us,
+            metric=self._config.selection_metric,
+        )
+        self.coordinator = SwitchCoordinator(
+            sim, backhaul, self._config, controller_id
+        )
+        self.coordinator.on_complete = self._switch_completed
+        self.dedup = PacketDeduplicator()
+        self.directory = AssociationDirectory()
+        self._index_alloc = IndexAllocator(self._config.cyclic_queue_size)
+        self._clients: Dict[str, ClientState] = {}
+        self._ap_ids: Set[str] = set()
+
+        #: Delivered (de-duplicated) uplink datagrams go here.
+        self.on_uplink: Callable[[Packet], None] = lambda packet: None
+        #: Fired whenever a client's serving AP changes (also at
+        #: association). Scenario glue uses it, e.g. to retune the
+        #: client's radio in the multi-channel ablation.
+        self.on_serving_update: Callable[[str, str], None] = (
+            lambda client_id, ap_id: None
+        )
+        #: (time_us, client, ap) — serving-AP timeline for Figure 14/15.
+        self.serving_timeline: List[Tuple[int, str, str]] = []
+
+        self.stats = {
+            "downlink_accepted": 0,
+            "downlink_unassociated": 0,
+            "fanout_messages": 0,
+            "csi_reports": 0,
+            "switches_initiated": 0,
+        }
+        backhaul.register(controller_id, self._on_backhaul)
+
+    # ------------------------------------------------------------------
+    # topology / association
+    # ------------------------------------------------------------------
+
+    def add_ap(self, ap_id: str) -> None:
+        self._ap_ids.add(ap_id)
+
+    def ap_ids(self) -> Set[str]:
+        return set(self._ap_ids)
+
+    def client_state(self, client_id: str) -> Optional[ClientState]:
+        return self._clients.get(client_id)
+
+    def serving_ap(self, client_id: str) -> Optional[str]:
+        state = self._clients.get(client_id)
+        return state.serving_ap if state else None
+
+    def register_association(self, info: StaInfo) -> None:
+        """Install a client (from sta-sync replication or directly)."""
+        self.directory.admit(info)
+        if info.client not in self._clients:
+            self._clients[info.client] = ClientState(
+                info.client, info.first_ap, self._sim.now
+            )
+            self._publish_serving(info.client, info.first_ap)
+            self._start_selection_loop(info.client)
+
+    def _start_selection_loop(self, client_id: str) -> None:
+        """Periodic AP-selection evaluation for one client.
+
+        Running on a fixed period (rather than on CSI arrival) means
+        every decision sees the complete window of reports, not just
+        whichever AP's report happened to arrive first.
+        """
+        period = self._config.selection_period_us
+
+        def tick():
+            self._maybe_switch(client_id)
+            timer.start(period)
+
+        timer = Timer(self._sim, tick)
+        timer.start(period)
+
+    def _publish_serving(self, client_id: str, ap_id: str) -> None:
+        self.serving_timeline.append((self._sim.now, client_id, ap_id))
+        self.on_serving_update(client_id, ap_id)
+        for ap in sorted(self._ap_ids):
+            self._backhaul.send_control(
+                self.controller_id, ap, "serving-update", (client_id, ap_id)
+            )
+
+    # ------------------------------------------------------------------
+    # downlink
+    # ------------------------------------------------------------------
+
+    def accept_downlink(self, packet: Packet) -> None:
+        """Entry point for server traffic headed to a client."""
+        client_id = packet.dst
+        state = self._clients.get(client_id)
+        if state is None:
+            self.stats["downlink_unassociated"] += 1
+            return
+        self.stats["downlink_accepted"] += 1
+        index = self._index_alloc.allocate(client_id)
+        if self._config.fanout_enabled:
+            fanout = set(self.selector.candidates(client_id, self._sim.now))
+            fanout.add(state.serving_ap)
+        else:
+            fanout = {state.serving_ap}
+        fanout &= self._ap_ids
+        wire = tunnel_wire_size(packet, downlink=True)
+        for ap_id in sorted(fanout):
+            self.stats["fanout_messages"] += 1
+            self._backhaul.send(
+                self.controller_id,
+                ap_id,
+                "data",
+                (client_id, index, packet),
+                size_bytes=wire,
+            )
+
+    # ------------------------------------------------------------------
+    # backhaul dispatch
+    # ------------------------------------------------------------------
+
+    def _on_backhaul(self, src: str, kind: str, payload: object) -> None:
+        if kind == "csi":
+            self._handle_csi(payload)
+        elif kind == "uplink":
+            self._handle_uplink(payload)
+        elif kind == "ack":
+            self.coordinator.on_ack(payload)
+        elif kind == "sta-sync":
+            self.register_association(payload)
+
+    def _handle_csi(self, report: CsiReport) -> None:
+        self.stats["csi_reports"] += 1
+        self.selector.record(
+            report.client_id, report.ap_id, report.time_us, report.esnr_db
+        )
+
+    def _handle_uplink(self, packet: Packet) -> None:
+        if self.dedup.accept(packet):
+            self.on_uplink(packet)
+
+    # ------------------------------------------------------------------
+    # selection / switching
+    # ------------------------------------------------------------------
+
+    def _maybe_switch(self, client_id: str) -> None:
+        state = self._clients.get(client_id)
+        if state is None:
+            return
+        now = self._sim.now
+        if self.coordinator.busy(client_id):
+            return
+        if now - state.last_switch_us < self._config.time_hysteresis_us:
+            return
+        best = self.selector.best_ap(
+            client_id,
+            now,
+            incumbent=state.serving_ap,
+            margin_db=self._config.switch_margin_db,
+        )
+        if best is None or best == state.serving_ap or best not in self._ap_ids:
+            return
+        state.last_switch_us = now
+        self.stats["switches_initiated"] += 1
+        self.coordinator.initiate(client_id, state.serving_ap, best)
+
+    def _switch_completed(self, record: SwitchRecord) -> None:
+        state = self._clients.get(record.client)
+        if state is not None:
+            state.serving_ap = record.to_ap
+        self._publish_serving(record.client, record.to_ap)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def switch_durations_ms(self) -> List[float]:
+        return [d / 1000.0 for d in self.coordinator.completed_durations_us()]
+
+    def switch_rate_per_second(self, duration_us: int) -> float:
+        if duration_us <= 0:
+            return 0.0
+        return len(self.coordinator.history) / (duration_us / 1e6)

@@ -1,0 +1,52 @@
+"""Uplink packet de-duplication at the controller (paper §3.2.3).
+
+Every AP that decodes a client's uplink frame forwards it, so the
+controller sees up to eight copies of each datagram. It keeps a
+hash-set of 48-bit keys — source address bits combined with the 16-bit
+IP identification field (§3.2.2) — and forwards only the first copy.
+The set is bounded FIFO so memory stays constant on long runs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.net.packet import Packet
+
+#: Remembered keys; at 8k packets/s this covers several seconds.
+DEFAULT_CAPACITY = 32_768
+
+
+class PacketDeduplicator:
+    """First-copy-wins filter keyed on (source, IP-ID)."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._seen: "OrderedDict[int, None]" = OrderedDict()
+        self.accepted = 0
+        self.duplicates = 0
+
+    def accept(self, packet: Packet) -> bool:
+        """True exactly once per distinct datagram.
+
+        ARP and other headerless traffic (paper footnote 5) bypasses
+        de-duplication — duplicates there are harmless.
+        """
+        if packet.protocol == "arp":
+            self.accepted += 1
+            return True
+        key = packet.dedup_key()
+        if key in self._seen:
+            self.duplicates += 1
+            return False
+        self._seen[key] = None
+        if len(self._seen) > self._capacity:
+            self._seen.popitem(last=False)
+        self.accepted += 1
+        return True
+
+    def duplicate_ratio(self) -> float:
+        total = self.accepted + self.duplicates
+        return self.duplicates / total if total else 0.0

@@ -1,0 +1,104 @@
+"""WGTT AP selection: maximal median ESNR over a sliding window.
+
+Every CSI report an AP forwards becomes one (time, ESNR) reading for
+that client↔AP link. The controller keeps the last W = 10 ms of
+readings per link and, when asked, picks the AP whose *median* reading
+is highest (paper §3.1.1, Figure 6). The median — not the mean or the
+latest sample — is what rides out single-frame fading flukes while
+still reacting within the window.
+
+The same window also defines the downlink fan-out set: the APs that
+have heard anything from the client recently (paper footnote 1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+
+class ApSelector:
+    """Sliding-window median-ESNR ranking, per client.
+
+    ``metric`` selects the window statistic: "median" (the paper's
+    choice — robust to single-frame fading flukes), "mean", or
+    "latest" (agile but noise-prone); the alternatives exist for the
+    ablation benches.
+    """
+
+    def __init__(self, window_us: int = 10_000, metric: str = "median"):
+        if window_us <= 0:
+            raise ValueError("window must be positive")
+        if metric not in ("median", "mean", "latest"):
+            raise ValueError(f"unknown selection metric {metric!r}")
+        self.window_us = window_us
+        self.metric = metric
+        #: client -> ap -> deque[(time_us, esnr_db)]
+        self._readings: Dict[str, Dict[str, Deque[Tuple[int, float]]]] = {}
+
+    def record(self, client_id: str, ap_id: str, time_us: int, esnr_db: float):
+        """Ingest one CSI-derived ESNR reading."""
+        per_client = self._readings.setdefault(client_id, {})
+        series = per_client.setdefault(ap_id, deque())
+        series.append((time_us, esnr_db))
+        self._prune(series, time_us)
+
+    def _prune(self, series: Deque[Tuple[int, float]], now_us: int) -> None:
+        horizon = now_us - self.window_us
+        while series and series[0][0] < horizon:
+            series.popleft()
+
+    def median_esnr(
+        self, client_id: str, ap_id: str, now_us: int
+    ) -> Optional[float]:
+        """Median ESNR of one link over the window, or None if silent."""
+        series = self._readings.get(client_id, {}).get(ap_id)
+        if not series:
+            return None
+        self._prune(series, now_us)
+        if not series:
+            return None
+        if self.metric == "latest":
+            return series[-1][1]
+        values = sorted(esnr for _, esnr in series)
+        if self.metric == "mean":
+            return sum(values) / len(values)
+        return values[len(values) // 2]
+
+    def candidates(self, client_id: str, now_us: int) -> List[str]:
+        """APs that heard the client within the window — the fan-out set."""
+        result = []
+        for ap_id, series in self._readings.get(client_id, {}).items():
+            self._prune(series, now_us)
+            if series:
+                result.append(ap_id)
+        return result
+
+    def best_ap(
+        self,
+        client_id: str,
+        now_us: int,
+        incumbent: Optional[str] = None,
+        margin_db: float = 0.0,
+    ) -> Optional[str]:
+        """The AP with the maximal median ESNR.
+
+        A non-incumbent challenger must beat the incumbent's median by
+        ``margin_db``; ties go to the incumbent, so silent flapping on
+        equal links never happens.
+        """
+        medians = {}
+        for ap_id in self.candidates(client_id, now_us):
+            median = self.median_esnr(client_id, ap_id, now_us)
+            if median is not None:
+                medians[ap_id] = median
+        if not medians:
+            return incumbent
+        best_ap = max(medians, key=lambda ap: medians[ap])
+        if incumbent is not None and incumbent in medians and best_ap != incumbent:
+            if medians[best_ap] < medians[incumbent] + margin_db:
+                return incumbent
+        return best_ap
+
+    def forget_client(self, client_id: str) -> None:
+        self._readings.pop(client_id, None)

@@ -1,0 +1,160 @@
+"""The three-step switching protocol (paper §3.1.2).
+
+    controller --stop(c)-->  AP1            (cease sending to c)
+    AP1        --start(c,k)-> AP2           (resume from index k)
+    AP2        --ack------->  controller    (switch complete)
+
+Control packets are prioritized end to end. The controller retransmits
+stop(c) if no ack arrives within 30 ms, and never issues a second
+switch for the same client while one is outstanding (paper footnote 2).
+This module holds the controller-side coordinator and the message
+dataclasses; the AP-side behaviour lives in ``access_point``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import WgttConfig
+from repro.net.backhaul import EthernetBackhaul
+from repro.sim.engine import Simulator, Timer
+
+
+@dataclass(frozen=True)
+class StopMsg:
+    """controller → outgoing AP: stop serving ``client``; hand over to
+    ``target_ap``. Carries both layer-2 addresses as in the paper."""
+
+    client: str
+    target_ap: str
+    switch_id: int
+
+
+@dataclass(frozen=True)
+class StartMsg:
+    """outgoing AP → incoming AP: resume ``client`` at index ``k``."""
+
+    client: str
+    index: int
+    switch_id: int
+    from_ap: str
+
+
+@dataclass(frozen=True)
+class AckMsg:
+    """incoming AP → controller: switch complete."""
+
+    client: str
+    ap: str
+    switch_id: int
+
+
+@dataclass
+class SwitchRecord:
+    """One completed (or abandoned) switch, for Table 1 statistics."""
+
+    client: str
+    from_ap: str
+    to_ap: str
+    started_us: int
+    completed_us: Optional[int] = None
+    retries: int = 0
+
+    @property
+    def duration_us(self) -> Optional[int]:
+        if self.completed_us is None:
+            return None
+        return self.completed_us - self.started_us
+
+
+@dataclass
+class _Pending:
+    record: SwitchRecord
+    switch_id: int
+    timer: Timer = None  # set right after construction
+
+
+class SwitchCoordinator:
+    """Controller-side switching FSM, one slot per client."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        backhaul: EthernetBackhaul,
+        config: WgttConfig,
+        controller_id: str = "controller",
+    ):
+        self._sim = sim
+        self._backhaul = backhaul
+        self._config = config
+        self._controller_id = controller_id
+        self._pending: Dict[str, _Pending] = {}
+        self._next_switch_id = 1
+        self.history: List[SwitchRecord] = []
+        self.abandoned = 0
+        #: Called with the completed SwitchRecord.
+        self.on_complete: Callable[[SwitchRecord], None] = lambda record: None
+
+    def busy(self, client_id: str) -> bool:
+        return client_id in self._pending
+
+    def initiate(self, client_id: str, from_ap: str, to_ap: str) -> None:
+        """Kick off stop/start/ack for one client."""
+        if client_id in self._pending:
+            raise RuntimeError(f"switch already pending for {client_id!r}")
+        if from_ap == to_ap:
+            raise ValueError("switch target equals current AP")
+        switch_id = self._next_switch_id
+        self._next_switch_id += 1
+        record = SwitchRecord(
+            client=client_id,
+            from_ap=from_ap,
+            to_ap=to_ap,
+            started_us=self._sim.now,
+        )
+        pending = _Pending(record=record, switch_id=switch_id)
+        pending.timer = Timer(self._sim, lambda: self._timeout(client_id))
+        self._pending[client_id] = pending
+        self._send_stop(pending)
+
+    def _send_stop(self, pending: _Pending) -> None:
+        message = StopMsg(
+            client=pending.record.client,
+            target_ap=pending.record.to_ap,
+            switch_id=pending.switch_id,
+        )
+        self._backhaul.send_control(
+            self._controller_id, pending.record.from_ap, "stop", message
+        )
+        pending.timer.start(self._config.switch_timeout_us)
+
+    def on_ack(self, message: AckMsg) -> None:
+        pending = self._pending.get(message.client)
+        if pending is None or pending.switch_id != message.switch_id:
+            return  # stale ack from a retransmitted round
+        pending.timer.stop()
+        del self._pending[message.client]
+        pending.record.completed_us = self._sim.now
+        self.history.append(pending.record)
+        self.on_complete(pending.record)
+
+    def _timeout(self, client_id: str) -> None:
+        pending = self._pending.get(client_id)
+        if pending is None:
+            return
+        pending.record.retries += 1
+        if pending.record.retries > self._config.switch_retry_limit:
+            # Give up: release the slot so selection can try again.
+            del self._pending[client_id]
+            self.abandoned += 1
+            self.history.append(pending.record)
+            return
+        self._send_stop(pending)
+
+    # -- statistics ------------------------------------------------------
+
+    def completed_durations_us(self) -> List[int]:
+        return [
+            r.duration_us for r in self.history if r.duration_us is not None
+        ]

@@ -1,0 +1,51 @@
+"""Shared helpers for the per-figure experiment drivers.
+
+Every driver exposes ``run(seed=..., quick=...) -> dict`` returning the
+rows/series its figure or table reports. ``quick`` trims seeds and
+durations so the benchmark suite stays tractable; the shapes the paper
+reports survive the trimming.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.sim.engine import SECOND
+
+#: Seeds used when averaging runs.
+FULL_SEEDS = (3, 7, 11, 19, 23)
+QUICK_SEEDS = (3, 7)
+
+
+def seeds_for(quick: bool) -> tuple:
+    return QUICK_SEEDS if quick else FULL_SEEDS
+
+
+def mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def format_table(rows: List[Dict], columns: List[str]) -> str:
+    """Plain-text table used by the benches to print paper-style rows."""
+    widths = {
+        c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) if rows else len(c)
+        for c in columns
+    }
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,20 @@
+"""Figure 15: UDP throughput timeseries during a 15 mph drive.
+
+Same harness as Figure 14, run with the constant-rate UDP workload.
+The paper's observation: WGTT switches constantly and keeps a steady
+rate; Enhanced 802.11r switches only ~3 times in 10 s and is unstable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.fig14 import run_scheme
+
+
+def run(seed: int = 3, quick: bool = False) -> Dict:
+    duration = 6.0 if quick else 10.0
+    return {
+        "wgtt": run_scheme(seed, "wgtt", "udp", duration_s=duration),
+        "baseline": run_scheme(seed, "baseline", "udp", duration_s=duration),
+    }

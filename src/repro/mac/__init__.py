@@ -1,0 +1,70 @@
+"""802.11n MAC: medium, DCF, aggregation, block ACK, rate control."""
+
+from repro.mac.aggregation import build_ampdu_mpdus
+from repro.mac.blockack import BlockAckScoreboard, ReorderBuffer
+from repro.mac.dcf import Dcf
+from repro.mac.frames import (
+    BA_WINDOW,
+    CW_MAX,
+    CW_MIN,
+    DIFS_US,
+    MAX_AMPDU_SUBFRAMES,
+    SEQ_MODULO,
+    SIFS_US,
+    SLOT_US,
+    AckFrame,
+    BeaconFrame,
+    BlockAckFrame,
+    DataAmpdu,
+    Frame,
+    MgmtFrame,
+    Mpdu,
+    seq_distance,
+    seq_in_window,
+)
+from repro.mac.medium import (
+    CS_THRESHOLD_DBM,
+    MacEntity,
+    Transmission,
+    WirelessMedium,
+)
+from repro.mac.rate_control import MinstrelRateController
+from repro.mac.wifi_device import (
+    BEACON_INTERVAL_US,
+    SERVICE_QUEUE_CAPACITY,
+    TxSession,
+    WifiDevice,
+)
+
+__all__ = [
+    "build_ampdu_mpdus",
+    "BlockAckScoreboard",
+    "ReorderBuffer",
+    "Dcf",
+    "BA_WINDOW",
+    "CW_MAX",
+    "CW_MIN",
+    "DIFS_US",
+    "MAX_AMPDU_SUBFRAMES",
+    "SEQ_MODULO",
+    "SIFS_US",
+    "SLOT_US",
+    "AckFrame",
+    "BeaconFrame",
+    "BlockAckFrame",
+    "DataAmpdu",
+    "Frame",
+    "MgmtFrame",
+    "Mpdu",
+    "seq_distance",
+    "seq_in_window",
+    "CS_THRESHOLD_DBM",
+    "MacEntity",
+    "Transmission",
+    "WirelessMedium",
+    "MinstrelRateController",
+    "BEACON_INTERVAL_US",
+    "SERVICE_QUEUE_CAPACITY",
+    "TxSession",
+    "WifiDevice",
+]

@@ -1,0 +1,235 @@
+"""The shared 2.4 GHz wireless medium (channel 11).
+
+The medium is where transmissions physically overlap: it tracks every
+frame on the air, answers carrier-sense queries for the DCF, and — when
+a frame's airtime ends — hands each potential receiver a per-subcarrier
+SINR snapshot with co-channel interference folded in. Capture is
+implicit: a strong frame keeps a usable SINR through a weak overlap,
+a near-tie destroys both. Half-duplex radios never receive while they
+transmit.
+
+All eight testbed APs and every client share this one channel, exactly
+as deployed in the paper (§4: "channel 11 ... without modification").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.channel.link import ChannelMap, NOISE_FLOOR_DBM
+from repro.mac.frames import Frame, SIFS_US
+from repro.sim.engine import Simulator
+
+#: Energy level above which a station defers (carrier sense).
+CS_THRESHOLD_DBM = -82.0
+#: A transmission is only *sensed* after this many microseconds on air;
+#: two stations firing within this window collide instead of deferring.
+SENSE_DELAY_US = 4
+#: How long finished transmissions are kept for interference accounting.
+HISTORY_US = 20_000
+
+
+@dataclass
+class Transmission:
+    """A frame occupying the medium for [start_us, end_us)."""
+
+    sender: str
+    frame: Frame
+    start_us: int
+    end_us: int
+    channel: int = 11
+
+    def overlaps(self, start_us: int, end_us: int) -> int:
+        """Microseconds of overlap with [start_us, end_us)."""
+        return max(0, min(self.end_us, end_us) - max(self.start_us, start_us))
+
+
+class MacEntity:
+    """Interface the medium expects from a registered radio device."""
+
+    node_id: str
+    #: Wi-Fi channel the radio is tuned to. Radios on different
+    #: channels neither interfere with nor hear one another (adjacent-
+    #: channel leakage is neglected). The paper's testbed is single-
+    #: channel; the multi-channel ablation of §7 retunes APs.
+    channel: int = 11
+
+    def on_air_frame(
+        self, frame: Frame, snr_db: Optional[np.ndarray], decodable: bool
+    ) -> None:
+        """Called at the end of every other station's transmission.
+
+        ``snr_db`` is the per-subcarrier SINR snapshot at this receiver
+        (None when the frame was completely below the noise floor or
+        the receiver was itself transmitting); ``decodable`` is False
+        when reception was physically impossible (half-duplex clash).
+        """
+        raise NotImplementedError
+
+    def cares_about(self, frame: Frame) -> bool:
+        """Cheap pre-filter: should the medium bother computing this
+        receiver's SINR for ``frame``? Devices that can never use the
+        frame (e.g. a client hearing another client's data) return
+        False and skip the channel-model work entirely."""
+        return True
+
+
+class WirelessMedium:
+    """Arbiter for one Wi-Fi channel."""
+
+    def __init__(self, sim: Simulator, channel_map: ChannelMap):
+        self._sim = sim
+        self._channel = channel_map
+        self._devices: Dict[str, MacEntity] = {}
+        self._transmissions: List[Transmission] = []
+        self.frames_sent = 0
+        self.airtime_us = 0
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def register(self, device: MacEntity) -> None:
+        if device.node_id in self._devices:
+            raise ValueError(f"duplicate device {device.node_id!r}")
+        self._devices[device.node_id] = device
+
+    def devices(self):
+        return self._devices.values()
+
+    # ------------------------------------------------------------------
+    # carrier sense
+    # ------------------------------------------------------------------
+
+    def _rx_power_dbm(self, tx_id: str, rx_id: str, time_us: int) -> float:
+        link = self._channel.link(tx_id, rx_id)
+        return link.mean_rx_power_dbm(time_us, tx_id=tx_id)
+
+    def busy_until(self, node_id: str, now: Optional[int] = None) -> int:
+        """Latest end time of any transmission this node can sense.
+
+        Returns a time <= now when the medium appears idle. Frames that
+        started less than :data:`SENSE_DELAY_US` ago are invisible —
+        that blind spot is what produces genuine collisions.
+        """
+        now = self._sim.now if now is None else now
+        own_channel = self._channel_of(node_id)
+        latest = 0
+        for tx in self._transmissions:
+            if tx.end_us <= now:
+                continue
+            if tx.sender == node_id:
+                latest = max(latest, tx.end_us)
+                continue
+            if tx.channel != own_channel:
+                continue
+            if tx.start_us > now - SENSE_DELAY_US:
+                continue
+            if self._rx_power_dbm(tx.sender, node_id, tx.start_us) >= CS_THRESHOLD_DBM:
+                latest = max(latest, tx.end_us)
+        return latest
+
+    def _channel_of(self, node_id: str) -> int:
+        device = self._devices.get(node_id)
+        return getattr(device, "channel", 11)
+
+    def is_idle(self, node_id: str) -> bool:
+        return self.busy_until(node_id) <= self._sim.now
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+
+    def transmit(self, frame: Frame) -> Transmission:
+        """Put ``frame`` on the air now; reception resolves at its end."""
+        now = self._sim.now
+        duration = frame.duration_us()
+        tx = Transmission(
+            frame.tx_device, frame, now, now + duration,
+            channel=self._channel_of(frame.tx_device),
+        )
+        self._transmissions.append(tx)
+        self.frames_sent += 1
+        self.airtime_us += duration
+        self._sim.schedule(duration, lambda: self._complete(tx))
+        self._prune(now)
+        return tx
+
+    def transmit_response(
+        self, frame: Frame, delay_us: int = SIFS_US,
+        abort_if_busy: bool = True,
+    ) -> None:
+        """Send a SIFS-separated response (BA/ACK) without DCF contention.
+
+        When ``abort_if_busy`` the responder performs a last-instant
+        sense and silently drops its response if another station beat it
+        to the air — this is how near-simultaneous block ACKs from
+        multiple WGTT APs usually avoid colliding (paper §5.3.2).
+        """
+
+        def fire():
+            if abort_if_busy and not self.is_idle(frame.tx_device):
+                return
+            self.transmit(frame)
+
+        self._sim.schedule(delay_us, fire)
+
+    def _prune(self, now: int) -> None:
+        cutoff = now - HISTORY_US
+        self._transmissions = [
+            t for t in self._transmissions if t.end_us >= cutoff
+        ]
+
+    # ------------------------------------------------------------------
+    # reception
+    # ------------------------------------------------------------------
+
+    def _interference_mw(self, tx: Transmission, rx_id: str) -> float:
+        """Overlap-weighted co-channel interference power at ``rx_id``."""
+        total_mw = 0.0
+        duration = max(tx.end_us - tx.start_us, 1)
+        for other in self._transmissions:
+            if other is tx or other.sender == rx_id:
+                continue
+            if other.channel != tx.channel:
+                continue
+            overlap = other.overlaps(tx.start_us, tx.end_us)
+            if overlap == 0:
+                continue
+            power_dbm = self._rx_power_dbm(other.sender, rx_id, other.start_us)
+            total_mw += (overlap / duration) * 10.0 ** (power_dbm / 10.0)
+        return total_mw
+
+    def _was_transmitting(self, node_id: str, tx: Transmission) -> bool:
+        for other in self._transmissions:
+            if other.sender == node_id and other.overlaps(tx.start_us, tx.end_us):
+                return True
+        return False
+
+    def _complete(self, tx: Transmission) -> None:
+        noise_mw = 10.0 ** (NOISE_FLOOR_DBM / 10.0)
+        for node_id, device in self._devices.items():
+            if node_id == tx.sender:
+                continue
+            if getattr(device, "channel", 11) != tx.channel:
+                continue  # tuned elsewhere: hears nothing
+            if not device.cares_about(tx.frame):
+                continue
+            if self._was_transmitting(node_id, tx):
+                device.on_air_frame(tx.frame, None, False)
+                continue
+            link = self._channel.link(tx.sender, node_id)
+            if link.mean_rx_power_dbm(tx.start_us, tx_id=tx.sender) < NOISE_FLOOR_DBM - 10:
+                # Far below the noise floor: not even energy-detectable.
+                device.on_air_frame(tx.frame, None, False)
+                continue
+            snr_db = link.subcarrier_snr_db(tx.start_us, tx_id=tx.sender)
+            interference_mw = self._interference_mw(tx, node_id)
+            if interference_mw > 0.0:
+                penalty_db = 10.0 * math.log10(1.0 + interference_mw / noise_mw)
+                snr_db = snr_db - penalty_db
+            device.on_air_frame(tx.frame, snr_db, True)

@@ -1,0 +1,32 @@
+"""Measurement: accuracy, capacity loss, rate logs, statistics."""
+
+from repro.metrics.accuracy import SwitchingAccuracyMeter
+from repro.metrics.capacity import CapacityLossMeter, selector_capacity_loss_mbps
+from repro.metrics.recorder import RateUsageLog, UplinkLossMeter
+from repro.metrics.stats import (
+    cdf_points,
+    mean,
+    median,
+    percentile,
+    std,
+    summarize,
+)
+from repro.metrics.textplot import cdf_strip, series_panel, sparkline, timeline
+
+__all__ = [
+    "SwitchingAccuracyMeter",
+    "CapacityLossMeter",
+    "selector_capacity_loss_mbps",
+    "RateUsageLog",
+    "UplinkLossMeter",
+    "cdf_points",
+    "mean",
+    "median",
+    "percentile",
+    "std",
+    "summarize",
+    "cdf_strip",
+    "series_panel",
+    "sparkline",
+    "timeline",
+]

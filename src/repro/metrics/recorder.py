@@ -1,0 +1,80 @@
+"""Run-time recorders that hook into the MAC layer.
+
+:class:`RateUsageLog` captures every (time, MCS, #MPDUs) an AP uses
+towards a client — the data behind the link bit-rate CDF (Figure 16).
+:class:`UplinkLossMeter` tracks windowed uplink datagram loss for the
+multi-client uplink study (Figure 18).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.scenarios.testbed import Testbed
+from repro.sim.engine import SECOND
+
+
+class RateUsageLog:
+    """Collects transmit-rate usage across all APs of a testbed."""
+
+    def __init__(self, testbed: Testbed, client_id: str = None):
+        self._client_filter = client_id
+        #: (time_us, ap_id, mcs_index, rate_bps, mpdu_count)
+        self.entries: List[Tuple[int, str, int, int, int]] = []
+        devices = (
+            {ap_id: ap.device for ap_id, ap in testbed.wgtt_aps.items()}
+            if testbed.wgtt_aps
+            else {ap_id: ap.device for ap_id, ap in testbed.baseline_aps.items()}
+        )
+        for ap_id, device in devices.items():
+            self._hook(testbed, ap_id, device)
+
+    def _hook(self, testbed: Testbed, ap_id: str, device) -> None:
+        previous = device.on_rate_used
+
+        def on_rate(peer, mcs, count, _prev=previous, _ap=ap_id):
+            if self._client_filter is None or peer == self._client_filter:
+                self.entries.append(
+                    (testbed.sim.now, _ap, mcs.index, mcs.data_rate_bps, count)
+                )
+            _prev(peer, mcs, count)
+
+        device.on_rate_used = on_rate
+
+    def rates_mbps(self, weight_by_mpdus: bool = True) -> List[float]:
+        """The observed bit-rate sample set for the CDF."""
+        values: List[float] = []
+        for _, _, _, rate_bps, count in self.entries:
+            repeat = count if weight_by_mpdus else 1
+            values.extend([rate_bps / 1e6] * repeat)
+        return values
+
+
+class UplinkLossMeter:
+    """Windowed uplink loss per client, from source/sink counters."""
+
+    def __init__(self, sim, source, sink, bin_us: int = SECOND):
+        self._sim = sim
+        self._source = source
+        self._sink = sink
+        self.bin_us = bin_us
+        self._last_sent = 0
+        self._last_received = 0
+        #: (time_us, loss_rate) per bin.
+        self.series: List[Tuple[int, float]] = []
+
+    def sample(self) -> None:
+        """Close the current bin; call once per bin interval."""
+        sent = self._source.packets_sent
+        received = self._sink.packets_received()
+        delta_sent = sent - self._last_sent
+        delta_received = received - self._last_received
+        self._last_sent, self._last_received = sent, received
+        if delta_sent <= 0:
+            loss = 0.0
+        else:
+            loss = max(0.0, 1.0 - delta_received / delta_sent)
+        self.series.append((self._sim.now, loss))
+
+    def loss_rates(self) -> List[float]:
+        return [loss for _, loss in self.series]

@@ -1,0 +1,20 @@
+"""Road geometry and vehicular client mobility."""
+
+from repro.mobility.road import MPH_TO_MPS, Position, Road, mph
+from repro.mobility.vehicle import (
+    VehicleTrack,
+    following_tracks,
+    opposing_tracks,
+    parallel_tracks,
+)
+
+__all__ = [
+    "MPH_TO_MPS",
+    "Position",
+    "Road",
+    "mph",
+    "VehicleTrack",
+    "following_tracks",
+    "opposing_tracks",
+    "parallel_tracks",
+]

@@ -1,0 +1,77 @@
+"""Road geometry for the roadside-testbed scenarios.
+
+The testbed road is modelled as a straight segment along the x axis.
+Lanes run parallel to it at fixed lateral (y) offsets; the AP array sits
+on the building side at a configurable setback and mounting height
+(third floor in the paper's deployment).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Conversion used throughout: the paper quotes all speeds in mph.
+MPH_TO_MPS = 0.44704
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point in the scenario's 3-D coordinate frame (metres)."""
+
+    x: float
+    y: float
+    z: float = 0.0
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance in metres."""
+        return math.sqrt(
+            (self.x - other.x) ** 2
+            + (self.y - other.y) ** 2
+            + (self.z - other.z) ** 2
+        )
+
+    def bearing_to(self, other: "Position") -> Tuple[float, float]:
+        """(azimuth, elevation) in radians from this point towards ``other``.
+
+        Azimuth is measured in the x-y plane from the +x axis;
+        elevation from the horizontal plane.
+        """
+        dx = other.x - self.x
+        dy = other.y - self.y
+        dz = other.z - self.z
+        azimuth = math.atan2(dy, dx)
+        horizontal = math.sqrt(dx * dx + dy * dy)
+        elevation = math.atan2(dz, horizontal) if horizontal or dz else 0.0
+        return azimuth, elevation
+
+
+@dataclass(frozen=True)
+class Road:
+    """A straight road segment with one lane per travel direction.
+
+    ``near_lane_y`` is the lane closest to the AP array (traffic in the
+    +x direction); ``far_lane_y`` carries opposing (-x) traffic. These
+    mirror the paper's side road: two lanes, speed limit 25 mph.
+    """
+
+    length_m: float = 80.0
+    near_lane_y: float = 0.0
+    far_lane_y: float = 3.5
+    speed_limit_mph: float = 25.0
+
+    def lane_y(self, direction: int) -> float:
+        """Lateral offset of the lane for ``direction`` (+1 or -1)."""
+        if direction >= 0:
+            return self.near_lane_y
+        return self.far_lane_y
+
+    def contains_x(self, x: float) -> bool:
+        """True while an x coordinate lies within the modelled segment."""
+        return 0.0 <= x <= self.length_m
+
+
+def mph(speed_mph: float) -> float:
+    """Convert a speed in miles per hour to metres per second."""
+    return speed_mph * MPH_TO_MPS

@@ -1,0 +1,138 @@
+"""The wired Ethernet backhaul between the controller and the APs.
+
+All WGTT control traffic — CSI reports, stop/start/ack switching
+messages, forwarded block ACKs, association sync, tunneled data — rides
+this network. It is modelled as a switched full-duplex gigabit LAN:
+each node has its own uplink port whose serialization is FIFO, plus a
+fixed per-hop latency for propagation, switching, and the receiving
+host's interrupt/user-space handling. The paper's control packets are
+*prioritized* inside the AP; we expose that as a separate low-latency
+delivery path (:meth:`EthernetBackhaul.send_control`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+from repro.sim.engine import Simulator
+
+#: Default one-way latency: wire + switch + kernel/user handoff.
+DEFAULT_LATENCY_US = 300
+#: Prioritized control-packet path: bypasses data queues (paper §3.1.2).
+CONTROL_LATENCY_US = 150
+#: Gigabit Ethernet.
+DEFAULT_BANDWIDTH_BPS = 1_000_000_000
+
+
+@dataclass
+class BackhaulStats:
+    """Counters for traffic accounting on the backhaul."""
+
+    messages: int = 0
+    bytes: int = 0
+    control_messages: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str, size_bytes: int, control: bool) -> None:
+        self.messages += 1
+        self.bytes += size_bytes
+        if control:
+            self.control_messages += 1
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+
+class EthernetBackhaul:
+    """Message transport between controller and APs.
+
+    Receivers register a handler taking ``(src_id, kind, payload)``;
+    ``payload`` is an arbitrary Python object (a Packet, a CsiReport, a
+    control-message dataclass...). ``kind`` routes it inside the node.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency_us: int = DEFAULT_LATENCY_US,
+        control_latency_us: int = CONTROL_LATENCY_US,
+        bandwidth_bps: int = DEFAULT_BANDWIDTH_BPS,
+        loss_rate: float = 0.0,
+        loss_rng=None,
+    ):
+        """``loss_rate`` drops each message independently — Ethernet is
+        effectively lossless in the deployment, but WGTT's 30 ms stop
+        retransmission exists exactly because control packets *can* be
+        lost (paper §3.1.2); fault-injection tests use this."""
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self._sim = sim
+        self.latency_us = latency_us
+        self.control_latency_us = control_latency_us
+        self.bandwidth_bps = bandwidth_bps
+        self.loss_rate = loss_rate
+        self._loss_rng = loss_rng
+        self._handlers: Dict[str, Callable[[str, str, object], None]] = {}
+        self._port_busy_until: Dict[str, int] = {}
+        self.stats = BackhaulStats()
+        self.dropped = 0
+
+    def register(self, node_id: str, handler: Callable[[str, str, object], None]):
+        """Attach a node to the LAN."""
+        if node_id in self._handlers:
+            raise ValueError(f"{node_id!r} already attached to backhaul")
+        self._handlers[node_id] = handler
+
+    def is_attached(self, node_id: str) -> bool:
+        return node_id in self._handlers
+
+    def send(
+        self,
+        src_id: str,
+        dst_id: str,
+        kind: str,
+        payload: object,
+        size_bytes: int = 128,
+        control: bool = False,
+    ) -> None:
+        """Deliver ``payload`` to ``dst_id`` after serialization + latency.
+
+        Control messages take the prioritized path: they skip the data
+        FIFO's queueing backlog and use the shorter handling latency.
+        """
+        if dst_id not in self._handlers:
+            raise KeyError(f"unknown backhaul destination {dst_id!r}")
+        self.stats.record(kind, size_bytes, control)
+        if self.loss_rate > 0.0 and self._loss_rng is not None:
+            if self._loss_rng.random() < self.loss_rate:
+                self.dropped += 1
+                return
+        serialization_us = int(size_bytes * 8 / self.bandwidth_bps * 1e6)
+        if control:
+            delay = self.control_latency_us + serialization_us
+        else:
+            # FIFO per sender port: messages serialize one at a time.
+            start = max(self._sim.now, self._port_busy_until.get(src_id, 0))
+            self._port_busy_until[src_id] = start + serialization_us
+            delay = (start - self._sim.now) + serialization_us + self.latency_us
+        handler = self._handlers[dst_id]
+        self._sim.schedule(delay, lambda: handler(src_id, kind, payload))
+
+    def send_control(
+        self, src_id: str, dst_id: str, kind: str, payload: object,
+        size_bytes: int = 64,
+    ) -> None:
+        """Shorthand for the prioritized control path."""
+        self.send(src_id, dst_id, kind, payload, size_bytes, control=True)
+
+    def broadcast(
+        self,
+        src_id: str,
+        kind: str,
+        payload: object,
+        size_bytes: int = 128,
+        control: bool = False,
+    ) -> None:
+        """Deliver to every attached node except the sender."""
+        for node_id in list(self._handlers):
+            if node_id != src_id:
+                self.send(src_id, node_id, kind, payload, size_bytes, control)

@@ -1,0 +1,112 @@
+"""Packet-error model: from per-subcarrier SNR to delivery probability.
+
+An MPDU of ``L`` bytes at a given MCS succeeds when all its coded bits
+come through:  p = (1 - ber)^(8L), where ``ber`` is the mean coded BER
+across subcarriers (modulation curve + coding-gain offset). This is the
+Effective-SNR delivery model of Halperin et al., evaluated directly on
+the subcarrier SNRs, and it is what gives WGTT's CSI-based AP selection
+its predictive power: two links with equal RSSI but different
+frequency-selective fades get very different delivery probabilities.
+
+A decode also requires the PLCP preamble/header, sent at the most
+robust rate, to be received; below a small SNR floor nothing decodes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.phy.mcs import CODING_GAIN_DB, Mcs
+
+#: Below this wideband SNR (dB) the preamble itself is undetectable.
+PREAMBLE_SNR_FLOOR_DB = -1.0
+#: Preamble length in bits at the 6 Mbit/s base rate (for its own BER check).
+_PREAMBLE_BITS = 192
+
+
+def coded_ber(subcarrier_snr_db: np.ndarray, mcs: Mcs) -> float:
+    """Post-FEC BER for this MCS on a frequency-selective channel.
+
+    Per Halperin et al.: collapse the subcarrier SNRs to the effective
+    SNR for this MCS's *modulation* (uncoded mean-BER inversion), then
+    evaluate the coded link at that single AWGN-equivalent point. The
+    convolutional code and interleaver operate across the whole band,
+    so coding is credited after the collapse, not per subcarrier.
+    """
+    from repro.phy.ber import BER_BY_MODULATION, linear_to_db
+    from repro.phy.esnr import effective_snr_linear
+
+    gain_db = CODING_GAIN_DB[mcs.coding_rate]
+    esnr_linear = effective_snr_linear(subcarrier_snr_db, mcs.modulation)
+    esnr_db = float(linear_to_db(esnr_linear))
+    coded_point = 10.0 ** ((esnr_db + gain_db) / 10.0)
+    return float(BER_BY_MODULATION[mcs.modulation](coded_point))
+
+
+def preamble_success_probability(subcarrier_snr_db: np.ndarray) -> float:
+    """Probability the PLCP preamble + header decode (BPSK 1/2)."""
+    wideband_db = 10.0 * math.log10(
+        max(float(np.mean(10.0 ** (np.asarray(subcarrier_snr_db) / 10.0))), 1e-12)
+    )
+    if wideband_db < PREAMBLE_SNR_FLOOR_DB:
+        return 0.0
+    from repro.phy.ber import ber_bpsk, linear_to_db
+    from repro.phy.esnr import effective_snr_linear
+
+    esnr_db = float(linear_to_db(effective_snr_linear(subcarrier_snr_db, "bpsk")))
+    coded_point = 10.0 ** ((esnr_db + CODING_GAIN_DB[1 / 2]) / 10.0)
+    ber = float(ber_bpsk(coded_point))
+    return (1.0 - ber) ** _PREAMBLE_BITS
+
+
+def mpdu_success_probability(
+    subcarrier_snr_db: np.ndarray, mcs: Mcs, length_bytes: int
+) -> float:
+    """Probability one MPDU of ``length_bytes`` delivers at ``mcs``.
+
+    Includes the preamble detection term, so it is a complete
+    per-transmission delivery probability. Within one A-MPDU the
+    preamble is shared; :mod:`repro.mac` draws the preamble once per
+    aggregate and this per-MPDU term for each subframe, using
+    :func:`mpdu_payload_success_probability`.
+    """
+    return preamble_success_probability(
+        subcarrier_snr_db
+    ) * mpdu_payload_success_probability(subcarrier_snr_db, mcs, length_bytes)
+
+
+def mpdu_payload_success_probability(
+    subcarrier_snr_db: np.ndarray, mcs: Mcs, length_bytes: int
+) -> float:
+    """Payload-only success term (preamble handled separately)."""
+    ber = coded_ber(subcarrier_snr_db, mcs)
+    if ber >= 1.0:
+        return 0.0
+    bits = 8 * int(length_bytes)
+    # log-domain to survive long frames at moderate BER
+    return math.exp(bits * math.log1p(-min(ber, 0.999999)))
+
+
+def expected_throughput_bps(
+    subcarrier_snr_db: np.ndarray, mcs: Mcs, length_bytes: int = 1500
+) -> float:
+    """Delivery-probability-weighted PHY rate; the link 'capacity' metric.
+
+    Used by the capacity-loss analyses (Figures 4 and 21): the best AP
+    at an instant is the one maximizing this quantity over the MCS set.
+    """
+    return mcs.data_rate_bps * mpdu_success_probability(
+        subcarrier_snr_db, mcs, length_bytes
+    )
+
+
+def best_rate_bps(subcarrier_snr_db: np.ndarray, length_bytes: int = 1500) -> float:
+    """max over the MCS table of :func:`expected_throughput_bps`."""
+    from repro.phy.mcs import MCS_TABLE
+
+    return max(
+        expected_throughput_bps(subcarrier_snr_db, mcs, length_bytes)
+        for mcs in MCS_TABLE
+    )

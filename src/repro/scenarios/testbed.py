@@ -1,0 +1,478 @@
+"""The roadside testbed (paper §4, Figure 9), fully assembled.
+
+Eight APs behind third-floor windows overlooking a 25 mph side road,
+7.5 m apart, each with a 14 dBi / 21° parabolic antenna aimed at the
+road; an Ethernet backhaul; a controller (WGTT) or a thin WLC
+(Enhanced 802.11r); and one or more vehicular clients. This module
+builds the whole thing from a :class:`TestbedConfig` and exposes flow
+attachment and run helpers — every experiment driver goes through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.baselines.enhanced_80211r import (
+    Baseline80211rAp,
+    BaselineWlc,
+    RoamingClientAgent,
+    RoamingConfig,
+)
+from repro.channel.antenna import OmniAntenna, ParabolicAntenna
+from repro.channel.link import ChannelMap, RadioPort
+from repro.channel.pathloss import LogDistancePathLoss
+from repro.core.access_point import WgttAccessPoint
+from repro.core.assoc_sync import StaInfo
+from repro.core.config import WgttConfig
+from repro.core.controller import WgttController
+from repro.mac.medium import WirelessMedium
+from repro.mac.wifi_device import WifiDevice
+from repro.mobility.road import Position, Road
+from repro.mobility.vehicle import VehicleTrack
+from repro.net.backhaul import EthernetBackhaul
+from repro.net.packet import IpIdAllocator, Packet
+from repro.sim.engine import SECOND, Simulator
+from repro.sim.rng import RngRegistry
+from repro.transport.flows import Host
+from repro.transport.tcp import TcpReceiver, TcpSender
+from repro.transport.udp import UdpSink, UdpSource
+
+#: Default AP x-positions: 7.5 m spacing as measured in §2.
+DEFAULT_AP_SPACING_M = 7.5
+DEFAULT_FIRST_AP_X = 10.0
+
+
+@dataclass
+class TestbedConfig:
+    """Everything needed to instantiate a testbed run."""
+
+    # Not a pytest test class despite the name.
+    __test__ = False
+
+    seed: int = 1
+    #: "wgtt" or "baseline" (Enhanced 802.11r).
+    scheme: str = "wgtt"
+    num_aps: int = 8
+    #: Explicit AP x-positions override the uniform spacing.
+    ap_positions_m: Optional[List[float]] = None
+    ap_spacing_m: float = DEFAULT_AP_SPACING_M
+    first_ap_x_m: float = DEFAULT_FIRST_AP_X
+    ap_setback_m: float = 12.0
+    ap_height_m: float = 10.0
+    #: Effective beamwidth of the deployed antenna. The Laird panel is
+    #: nominally 21°, but the paper's *measured* cell size (5.2 m at a
+    #: 7.5 m AP spacing, §2) implies a much narrower effective beam —
+    #: the third-floor window aperture clips the lobe. 10° reproduces
+    #: the measured footprint and the between-cell ESNR dips of Fig 2.
+    ap_beamwidth_deg: float = 10.0
+    ap_tx_power_dbm: float = 20.0
+    client_tx_power_dbm: float = 15.0
+    #: One entry per client. Ignored when ``client_tracks`` is given.
+    client_speeds_mph: List[float] = field(default_factory=lambda: [15.0])
+    #: Clients start just inside the first AP's coverage flank, the way
+    #: the paper's measured transits begin.
+    client_start_x_m: float = 4.0
+    client_tracks: Optional[List[VehicleTrack]] = None
+    wgtt: WgttConfig = field(default_factory=WgttConfig)
+    roaming: RoamingConfig = field(default_factory=RoamingConfig)
+    pathloss: LogDistancePathLoss = field(default_factory=LogDistancePathLoss)
+    coherence_factor: float = 0.25
+    rician_k_db: Optional[float] = None
+    #: Associate clients instantly at t=0 (experiments assume an
+    #: already-admitted commuter device); False exercises the real
+    #: over-the-air association path.
+    instant_association: bool = True
+    #: Clients emit an 802.11 NULL-frame keepalive when their radio has
+    #: been silent this long (real stations do this for power
+    #: management / presence). These uplink frames are what keeps CSI
+    #: flowing to the WGTT controller when transport goes quiet.
+    client_keepalive_us: int = 50_000
+    #: Wi-Fi channel per AP. None (the paper's deployment) puts every
+    #: AP on channel 11. The §7 multi-channel ablation assigns e.g.
+    #: [1, 6, 11, 1, 6, 11, ...]; clients retune to their serving AP's
+    #: channel on every switch, and cross-channel overhearing — hence
+    #: uplink diversity and BA forwarding — disappears.
+    channel_plan: Optional[List[int]] = None
+
+    def ap_channel(self, index: int) -> int:
+        if self.channel_plan is None:
+            return 11
+        return self.channel_plan[index % len(self.channel_plan)]
+
+    def ap_xs(self) -> List[float]:
+        if self.ap_positions_m is not None:
+            return list(self.ap_positions_m)
+        return [
+            self.first_ap_x_m + i * self.ap_spacing_m for i in range(self.num_aps)
+        ]
+
+    def road_length_m(self) -> float:
+        return self.ap_xs()[-1] + self.first_ap_x_m
+
+
+class ClientNode:
+    """A vehicular client: radio + mobility + host stack."""
+
+    def __init__(
+        self,
+        testbed: "Testbed",
+        index: int,
+        track: VehicleTrack,
+    ):
+        self.client_id = f"client{index}"
+        self.track = track
+        self.testbed = testbed
+        config = testbed.config
+        testbed.channel.register_port(
+            RadioPort(
+                self.client_id,
+                OmniAntenna(),
+                config.client_tx_power_dbm,
+                track.position_at,
+                lambda: track.speed_mps,
+            )
+        )
+        self.device = WifiDevice(
+            testbed.sim,
+            testbed.medium,
+            testbed.rng,
+            self.client_id,
+            role="client",
+        )
+        self.host = Host(self.client_id)
+        self.device.on_packet = lambda packet, src: self.host.deliver(packet)
+        self.agent: Optional[RoamingClientAgent] = None
+        if config.scheme == "baseline":
+            self.agent = RoamingClientAgent(
+                testbed.sim, self.device, config.roaming
+            )
+        self._ip_ids = IpIdAllocator()
+        self.uplink_dropped = 0
+        self.keepalives_sent = 0
+        interval = config.client_keepalive_us
+        if interval > 0:
+            from repro.sim.engine import Timer
+
+            def keepalive_tick():
+                if (
+                    testbed.sim.now - self.device.last_tx_us >= interval
+                    and not self.device.dcf.busy
+                ):
+                    null = Packet(
+                        src=self.client_id,
+                        dst="server",
+                        size_bytes=36,
+                        protocol="udp",
+                        flow_id="keepalive",
+                        created_us=testbed.sim.now,
+                    )
+                    null.meta["keepalive"] = True
+                    self.keepalives_sent += 1
+                    self.send_uplink(null)
+                self._keepalive_timer.start(interval)
+
+            self._keepalive_timer = Timer(testbed.sim, keepalive_tick)
+            self._keepalive_timer.start(interval)
+
+    def send_uplink(self, packet: Packet) -> None:
+        """Hand a locally generated datagram to the radio."""
+        packet.ip_id = self._ip_ids.allocate(self.client_id)
+        if self.agent is not None:
+            peer = self.agent.uplink_peer()
+            if peer is None:
+                self.uplink_dropped += 1
+                return
+        else:
+            peer = self.testbed.config.wgtt.bssid
+        self.device.enqueue(packet, peer)
+
+    def position_x(self) -> float:
+        return self.track.position_at(self.testbed.sim.now).x
+
+
+class Testbed:
+    """A fully wired simulation instance."""
+
+    # Not a pytest test class despite the name.
+    __test__ = False
+
+    def __init__(self, config: TestbedConfig):
+        if config.scheme not in ("wgtt", "baseline"):
+            raise ValueError(f"unknown scheme {config.scheme!r}")
+        self.config = config
+        self.sim = Simulator()
+        self.rng = RngRegistry(config.seed)
+        road_length = config.road_length_m()
+        self.road = Road(length_m=road_length)
+        self.channel = ChannelMap(
+            self.sim,
+            self.rng,
+            pathloss=config.pathloss,
+            coherence_factor=config.coherence_factor,
+            rician_k_db=config.rician_k_db,
+        )
+        self.medium = WirelessMedium(self.sim, self.channel)
+        self.backhaul = EthernetBackhaul(self.sim)
+        self.server_host = Host("server")
+        self._server_ip_ids = IpIdAllocator()
+
+        self.ap_ids: List[str] = []
+        self.ap_positions: Dict[str, Position] = {}
+        self._build_aps()
+
+        self.controller: Optional[WgttController] = None
+        self.wlc: Optional[BaselineWlc] = None
+        self.wgtt_aps: Dict[str, WgttAccessPoint] = {}
+        self.baseline_aps: Dict[str, Baseline80211rAp] = {}
+        if config.scheme == "wgtt":
+            self._build_wgtt()
+        else:
+            self._build_baseline()
+
+        self.clients: List[ClientNode] = []
+        for index, track in enumerate(self._client_tracks()):
+            self.clients.append(ClientNode(self, index, track))
+        if config.instant_association:
+            for client in self.clients:
+                self._associate_instantly(client)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _build_aps(self) -> None:
+        config = self.config
+        for i, x in enumerate(config.ap_xs()):
+            ap_id = f"ap{i}"
+            mount = Position(x, -config.ap_setback_m, config.ap_height_m)
+            antenna = ParabolicAntenna(
+                mount=mount,
+                boresight=Position(x, 0.0, 1.5),
+                beamwidth_deg=config.ap_beamwidth_deg,
+            )
+            self.channel.register_port(
+                RadioPort(
+                    ap_id,
+                    antenna,
+                    config.ap_tx_power_dbm,
+                    lambda t, m=mount: m,
+                )
+            )
+            self.ap_ids.append(ap_id)
+            self.ap_positions[ap_id] = mount
+
+    def _build_wgtt(self) -> None:
+        self.controller = WgttController(
+            self.sim, self.backhaul, self.rng, self.config.wgtt
+        )
+        self.controller.on_uplink = self._deliver_uplink
+        for index, ap_id in enumerate(self.ap_ids):
+            ap = WgttAccessPoint(
+                self.sim,
+                self.medium,
+                self.backhaul,
+                self.rng,
+                ap_id,
+                self.config.wgtt,
+            )
+            ap.device.channel = self.config.ap_channel(index)
+            ap.device.start_beaconing()
+            self.wgtt_aps[ap_id] = ap
+            self.controller.add_ap(ap_id)
+        if self.config.channel_plan is not None:
+            self.controller.on_serving_update = self._retune_client
+
+    def _retune_client(self, client_id: str, ap_id: str) -> None:
+        """Multi-channel ablation glue: a switch retunes the client."""
+        index = self.ap_ids.index(ap_id)
+        for client in self.clients:
+            if client.client_id == client_id:
+                client.device.channel = self.config.ap_channel(index)
+
+    def _build_baseline(self) -> None:
+        self.wlc = BaselineWlc(self.sim, self.backhaul)
+        self.wlc.on_uplink = self._deliver_uplink
+        for index, ap_id in enumerate(self.ap_ids):
+            ap = Baseline80211rAp(
+                self.sim, self.medium, self.backhaul, self.rng, ap_id
+            )
+            ap.device.channel = self.config.ap_channel(index)
+            self.baseline_aps[ap_id] = ap
+            self.wlc.add_ap(ap_id)
+
+    def _client_tracks(self) -> List[VehicleTrack]:
+        if self.config.client_tracks is not None:
+            return list(self.config.client_tracks)
+        return [
+            VehicleTrack(
+                self.road,
+                start_x=self.config.client_start_x_m,
+                speed_mph=speed,
+            )
+            for speed in self.config.client_speeds_mph
+        ]
+
+    def _nearest_ap(self, client: ClientNode) -> str:
+        position = client.track.position_at(self.sim.now)
+        return min(
+            self.ap_ids,
+            key=lambda ap: self.ap_positions[ap].distance_to(position),
+        )
+
+    def _associate_instantly(self, client: ClientNode) -> None:
+        first_ap = self._nearest_ap(client)
+        if self.config.scheme == "wgtt":
+            info = StaInfo(
+                client=client.client_id,
+                associated_at_us=self.sim.now,
+                first_ap=first_ap,
+            )
+            for ap in self.wgtt_aps.values():
+                ap.directory.admit(info)
+            self.controller.register_association(info)
+            self.wgtt_aps[first_ap].start_serving(client.client_id)
+        else:
+            agent = client.agent
+            agent.current_ap = first_ap
+            agent._last_switch_us = self.sim.now
+            agent.association_log.append((self.sim.now, first_ap))
+            self.wlc._route[client.client_id] = first_ap
+
+    # ------------------------------------------------------------------
+    # traffic plumbing
+    # ------------------------------------------------------------------
+
+    def _deliver_uplink(self, packet: Packet) -> None:
+        if packet.meta.get("keepalive"):
+            return  # NULL frames carry no payload for the server
+        self.sim.schedule(
+            self.config.wgtt.server_latency_us,
+            lambda: self.server_host.deliver(packet),
+        )
+
+    def send_downlink(self, packet: Packet) -> None:
+        """Server-side ingress: tag IP-ID, add server latency, route."""
+        packet.ip_id = self._server_ip_ids.allocate(packet.src)
+        ingress = (
+            self.controller.accept_downlink
+            if self.controller is not None
+            else self.wlc.accept_downlink
+        )
+        self.sim.schedule(
+            self.config.wgtt.server_latency_us, lambda: ingress(packet)
+        )
+
+    def client(self, index: int) -> ClientNode:
+        return self.clients[index]
+
+    def add_downlink_tcp_flow(
+        self, client_index: int = 0, flow_id: Optional[str] = None
+    ) -> Tuple[TcpSender, TcpReceiver]:
+        client = self.clients[client_index]
+        flow_id = flow_id or f"tcp-dl-{client.client_id}"
+        sender = TcpSender(
+            self.sim, "server", client.client_id, self.send_downlink, flow_id
+        )
+        receiver = TcpReceiver(
+            self.sim, client.client_id, "server", client.send_uplink, flow_id
+        )
+        self.server_host.attach_tcp_sender(sender)
+        client.host.attach_tcp_receiver(receiver)
+        return sender, receiver
+
+    def add_uplink_tcp_flow(
+        self, client_index: int = 0, flow_id: Optional[str] = None
+    ) -> Tuple[TcpSender, TcpReceiver]:
+        client = self.clients[client_index]
+        flow_id = flow_id or f"tcp-ul-{client.client_id}"
+        sender = TcpSender(
+            self.sim, client.client_id, "server", client.send_uplink, flow_id
+        )
+        receiver = TcpReceiver(
+            self.sim, "server", client.client_id, self.send_downlink, flow_id
+        )
+        client.host.attach_tcp_sender(sender)
+        self.server_host.attach_tcp_receiver(receiver)
+        return sender, receiver
+
+    def add_downlink_udp_flow(
+        self,
+        client_index: int = 0,
+        rate_bps: float = 15e6,
+        flow_id: Optional[str] = None,
+    ) -> Tuple[UdpSource, UdpSink]:
+        client = self.clients[client_index]
+        flow_id = flow_id or f"udp-dl-{client.client_id}"
+        source = UdpSource(
+            self.sim,
+            "server",
+            client.client_id,
+            rate_bps,
+            self.send_downlink,
+            flow_id,
+        )
+        sink = UdpSink(self.sim, flow_id)
+        client.host.attach_udp_sink(sink)
+        return source, sink
+
+    def add_uplink_udp_flow(
+        self,
+        client_index: int = 0,
+        rate_bps: float = 15e6,
+        flow_id: Optional[str] = None,
+    ) -> Tuple[UdpSource, UdpSink]:
+        client = self.clients[client_index]
+        flow_id = flow_id or f"udp-ul-{client.client_id}"
+        source = UdpSource(
+            self.sim,
+            client.client_id,
+            "server",
+            rate_bps,
+            client.send_uplink,
+            flow_id,
+        )
+        sink = UdpSink(self.sim, flow_id)
+        self.server_host.attach_udp_sink(sink)
+        return source, sink
+
+    # ------------------------------------------------------------------
+    # running and ground truth
+    # ------------------------------------------------------------------
+
+    def run_seconds(self, seconds: float) -> None:
+        self.sim.run(until_us=self.sim.now + int(seconds * SECOND))
+
+    def run_until(self, time_us: int) -> None:
+        self.sim.run(until_us=time_us)
+
+    def transit_duration_us(self, client_index: int = 0) -> int:
+        return self.clients[client_index].track.transit_duration_us()
+
+    def best_ap_ground_truth(self, client_index: int, time_us: int) -> str:
+        """The AP with the instantaneously best ESNR (oracle knowledge,
+        used only by the accuracy metric — never by the protocols)."""
+        from repro.phy.esnr import effective_snr_db
+
+        client_id = self.clients[client_index].client_id
+        best_ap, best_esnr = None, -1e9
+        for ap_id in self.ap_ids:
+            link = self.channel.link(ap_id, client_id)
+            esnr = effective_snr_db(
+                link.probe_subcarrier_snr_db(time_us, tx_id=ap_id)
+            )
+            if esnr > best_esnr:
+                best_ap, best_esnr = ap_id, esnr
+        return best_ap
+
+    def serving_ap_of(self, client_index: int) -> Optional[str]:
+        client_id = self.clients[client_index].client_id
+        if self.controller is not None:
+            return self.controller.serving_ap(client_id)
+        agent = self.clients[client_index].agent
+        return agent.current_ap if agent else None
+
+
+def build_testbed(config: TestbedConfig) -> Testbed:
+    """Convenience constructor used throughout examples and benches."""
+    return Testbed(config)

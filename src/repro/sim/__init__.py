@@ -1,0 +1,6 @@
+"""Discrete-event simulation substrate: engine, timers, RNG streams."""
+
+from repro.sim.engine import MS, SECOND, EventHandle, Simulator, Timer
+from repro.sim.rng import RngRegistry
+
+__all__ = ["MS", "SECOND", "EventHandle", "Simulator", "Timer", "RngRegistry"]

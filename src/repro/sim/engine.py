@@ -1,0 +1,184 @@
+"""Microsecond-resolution discrete-event simulation engine.
+
+The engine is a priority queue of ``(time_us, sequence, callback)``
+entries. Time is an integer number of microseconds since the start of
+the simulation; the sequence number makes event ordering deterministic
+when several events share a timestamp (FIFO among equals).
+
+Every other subsystem in this reproduction — the radio channel, the
+802.11 MAC, the Ethernet backhaul, TCP — schedules its work through one
+shared :class:`Simulator` instance.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+#: One millisecond expressed in engine ticks (microseconds).
+MS = 1_000
+#: One second expressed in engine ticks (microseconds).
+SECOND = 1_000_000
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Cancellation is lazy: the heap entry stays in place but is skipped
+    when it reaches the head of the queue. This keeps cancellation O(1),
+    which matters because MAC-layer timers are cancelled far more often
+    than they fire.
+    """
+
+    __slots__ = ("time_us", "callback", "cancelled")
+
+    def __init__(self, time_us: int, callback: Callable[[], None]):
+        self.time_us = time_us
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing; safe to call more than once."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending and not cancelled."""
+        return not self.cancelled and self.callback is not None
+
+    def _fire(self) -> None:
+        callback, self.callback = self.callback, None
+        if callback is not None:
+            callback()
+
+
+class Simulator:
+    """The shared discrete-event loop.
+
+    Parameters
+    ----------
+    start_time_us:
+        Initial clock value; almost always zero, but tests occasionally
+        start mid-stream to exercise wrap-around logic elsewhere.
+    """
+
+    def __init__(self, start_time_us: int = 0):
+        self._now = int(start_time_us)
+        self._queue: List[Tuple[int, int, EventHandle]] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    def schedule(self, delay_us: int, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` after ``delay_us`` microseconds.
+
+        A negative delay is an error: the simulator never travels
+        backwards in time.
+        """
+        if delay_us < 0:
+            raise ValueError(f"cannot schedule {delay_us} us in the past")
+        return self.schedule_at(self._now + int(delay_us), callback)
+
+    def schedule_at(self, time_us: int, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` at absolute time ``time_us``."""
+        if time_us < self._now:
+            raise ValueError(
+                f"cannot schedule at {time_us} us, now is {self._now} us"
+            )
+        handle = EventHandle(int(time_us), callback)
+        heapq.heappush(self._queue, (int(time_us), next(self._sequence), handle))
+        return handle
+
+    def call_soon(self, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` at the current time, after pending same-time events."""
+        return self.schedule(0, callback)
+
+    def peek_next_time(self) -> Optional[int]:
+        """Timestamp of the next live event, or None if the queue is drained."""
+        while self._queue:
+            time_us, _seq, handle = self._queue[0]
+            if handle.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return time_us
+        return None
+
+    def step(self) -> bool:
+        """Execute the single next event. Returns False when none remain."""
+        while self._queue:
+            time_us, _seq, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = time_us
+            self.events_processed += 1
+            handle._fire()
+            return True
+        return False
+
+    def run(self, until_us: Optional[int] = None) -> None:
+        """Run events until the queue drains or the clock passes ``until_us``.
+
+        When ``until_us`` is given the clock is left exactly at
+        ``until_us`` even if the last event fired earlier, so that
+        successive ``run`` calls see a monotonic timeline.
+        """
+        self._running = True
+        try:
+            while self._running:
+                next_time = self.peek_next_time()
+                if next_time is None:
+                    break
+                if until_us is not None and next_time > until_us:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if until_us is not None and self._now < until_us:
+            self._now = int(until_us)
+
+    def stop(self) -> None:
+        """Abort a ``run`` in progress after the current event returns."""
+        self._running = False
+
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for _t, _s, h in self._queue if not h.cancelled)
+
+
+class Timer:
+    """A restartable one-shot timer bound to a simulator.
+
+    This is the shape MAC and transport retransmission timers want:
+    ``start`` re-arms (cancelling any previous schedule), ``stop``
+    disarms, and the callback receives no arguments.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None]):
+        self._sim = sim
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def armed(self) -> bool:
+        return self._handle is not None and self._handle.active
+
+    def start(self, delay_us: int) -> None:
+        """(Re-)arm the timer to fire ``delay_us`` from now."""
+        self.stop()
+        self._handle = self._sim.schedule(delay_us, self._fire)
+
+    def stop(self) -> None:
+        """Disarm the timer if armed."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()

@@ -1,0 +1,27 @@
+"""Transport layer: TCP Reno, UDP CBR, host demultiplexing."""
+
+from repro.transport.flows import Host
+from repro.transport.tcp import (
+    ACK_BYTES,
+    INITIAL_CWND,
+    MIN_RTO_US,
+    MSS,
+    SEGMENT_BYTES,
+    TcpReceiver,
+    TcpSender,
+)
+from repro.transport.udp import UDP_PACKET_BYTES, UdpSink, UdpSource
+
+__all__ = [
+    "Host",
+    "ACK_BYTES",
+    "INITIAL_CWND",
+    "MIN_RTO_US",
+    "MSS",
+    "SEGMENT_BYTES",
+    "TcpReceiver",
+    "TcpSender",
+    "UDP_PACKET_BYTES",
+    "UdpSink",
+    "UdpSource",
+]

@@ -1,0 +1,65 @@
+"""Flow plumbing: hosts that demultiplex packets to transport endpoints.
+
+A :class:`Host` is the IP endpoint riding on a node (the content server
+behind the controller, or a vehicular client's network stack). Flows
+register themselves by ``flow_id``; arriving packets are dispatched to
+the right transport object, with TCP data/ACK direction resolved from
+the packet metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.net.packet import Packet
+from repro.transport.tcp import TcpReceiver, TcpSender
+from repro.transport.udp import UdpSink
+
+
+class Host:
+    """Demultiplexes received packets to transport endpoints."""
+
+    def __init__(self, node_id: str):
+        self.node_id = node_id
+        self._tcp_senders: Dict[str, TcpSender] = {}
+        self._tcp_receivers: Dict[str, TcpReceiver] = {}
+        self._udp_sinks: Dict[str, UdpSink] = {}
+        self._raw_handlers: Dict[str, Callable[[Packet], None]] = {}
+        self.unrouted = 0
+
+    def attach_tcp_sender(self, sender: TcpSender) -> None:
+        self._tcp_senders[sender.flow_id] = sender
+
+    def attach_tcp_receiver(self, receiver: TcpReceiver) -> None:
+        self._tcp_receivers[receiver.flow_id] = receiver
+
+    def attach_udp_sink(self, sink: UdpSink) -> None:
+        self._udp_sinks[sink.flow_id] = sink
+
+    def attach_raw(self, flow_id: str, handler: Callable[[Packet], None]) -> None:
+        """Escape hatch for application-specific protocols."""
+        self._raw_handlers[flow_id] = handler
+
+    def deliver(self, packet: Packet) -> None:
+        """Entry point from the network layer below."""
+        flow_id = packet.flow_id
+        if flow_id in self._raw_handlers:
+            self._raw_handlers[flow_id](packet)
+            return
+        if packet.protocol == "udp":
+            sink = self._udp_sinks.get(flow_id)
+            if sink is not None:
+                sink.on_packet(packet)
+                return
+        elif packet.protocol == "tcp":
+            if packet.meta.get("kind") == "ack":
+                sender = self._tcp_senders.get(flow_id)
+                if sender is not None:
+                    sender.on_ack(packet)
+                    return
+            else:
+                receiver = self._tcp_receivers.get(flow_id)
+                if receiver is not None:
+                    receiver.on_packet(packet)
+                    return
+        self.unrouted += 1

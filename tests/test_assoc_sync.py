@@ -1,0 +1,46 @@
+"""Tests for association-state replication (hostapd sta_info sync)."""
+
+from repro.core.assoc_sync import AssociationDirectory, StaInfo
+
+
+def info(client="client0", first_ap="ap0", authorized=True):
+    return StaInfo(
+        client=client, associated_at_us=0, first_ap=first_ap,
+        authorized=authorized,
+    )
+
+
+def test_admit_and_lookup():
+    directory = AssociationDirectory()
+    assert directory.admit(info())
+    assert directory.is_associated("client0")
+    assert directory.get("client0").first_ap == "ap0"
+
+
+def test_double_admit_rejected():
+    directory = AssociationDirectory()
+    assert directory.admit(info())
+    assert not directory.admit(info(first_ap="ap3"))
+    # first writer wins (replication races resolve deterministically)
+    assert directory.get("client0").first_ap == "ap0"
+
+
+def test_unauthorized_not_associated():
+    directory = AssociationDirectory()
+    directory.admit(info(authorized=False))
+    assert not directory.is_associated("client0")
+
+
+def test_remove():
+    directory = AssociationDirectory()
+    directory.admit(info())
+    directory.remove("client0")
+    assert not directory.is_associated("client0")
+    directory.remove("client0")  # idempotent
+
+
+def test_clients_listing():
+    directory = AssociationDirectory()
+    directory.admit(info("a"))
+    directory.admit(info("b"))
+    assert directory.clients() == {"a", "b"}

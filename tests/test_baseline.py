@@ -1,0 +1,141 @@
+"""Tests for the Enhanced/stock 802.11r baseline components."""
+
+import pytest
+
+from repro.baselines import RoamingConfig, stock_80211r_config
+from repro.scenarios.testbed import TestbedConfig, build_testbed
+from repro.sim.engine import SECOND
+
+
+def make_baseline(seed=3, speed=0.0, start_x=9.0, **roaming_kw):
+    config = TestbedConfig(
+        seed=seed,
+        scheme="baseline",
+        client_speeds_mph=[speed],
+        client_start_x_m=start_x,
+        roaming=RoamingConfig(**roaming_kw) if roaming_kw else RoamingConfig(),
+    )
+    return build_testbed(config)
+
+
+class TestRoamingConfig:
+    def test_stock_config_requires_5s_history(self):
+        assert stock_80211r_config().min_history_us == 5 * SECOND
+
+    def test_enhanced_decides_immediately(self):
+        assert RoamingConfig().min_history_us == 0
+
+
+class TestWlcRouting:
+    def test_downlink_follows_association(self):
+        testbed = make_baseline()
+        assert testbed.wlc.route_for("client0") == "ap0"
+
+    def test_unrouted_downlink_counted(self):
+        testbed = make_baseline()
+        from repro.net.packet import Packet
+
+        testbed.wlc.accept_downlink(Packet("server", "ghost", 100))
+        assert testbed.wlc.stats["downlink_unrouted"] == 1
+
+
+class TestBaselineDataPath:
+    def test_static_client_receives_tcp(self):
+        testbed = make_baseline(start_x=9.5)
+        sender, receiver = testbed.add_downlink_tcp_flow(0)
+        sender.start()
+        testbed.run_seconds(3.0)
+        assert sender.throughput_mbps(testbed.sim.now) > 3.0
+        # acks may still be in flight at snapshot time
+        assert receiver.rcv_nxt >= sender.snd_una
+
+    def test_uplink_single_path(self):
+        testbed = make_baseline(start_x=9.5)
+        source, sink = testbed.add_uplink_udp_flow(0, rate_bps=2e6)
+        source.start()
+        testbed.run_seconds(3.0)
+        assert sink.packets_received() > 100
+
+    def test_backlog_strands_at_old_ap(self):
+        """When the client moves on, packets buffered at the old AP
+        stay there, burning retries — §2's critique."""
+        testbed = make_baseline(start_x=9.5)
+        source, sink = testbed.add_downlink_udp_flow(0, rate_bps=40e6)
+        source.start()
+        testbed.run_seconds(1.0)
+        ap0 = testbed.baseline_aps["ap0"]
+        assert ap0.backlog("client0") > 0
+        # teleport the client away by switching its association
+        agent = testbed.clients[0].agent
+        agent.current_ap = "ap5"
+        testbed.wlc._route["client0"] = "ap5"
+        before = ap0.device.stats["ba_timeouts"]
+        testbed.run_seconds(1.0)
+        # old AP kept (unsuccessfully) trying to drain its backlog
+        assert ap0.device.stats["ba_timeouts"] > before
+
+
+class TestRoamingAgent:
+    def test_client_roams_as_it_drives(self):
+        testbed = make_baseline(speed=15.0, start_x=6.0)
+        source, sink = testbed.add_downlink_udp_flow(0, rate_bps=10e6)
+        source.start()
+        testbed.run_seconds(8.0)
+        agent = testbed.clients[0].agent
+        visited = [ap for _, ap in agent.association_log]
+        assert len(set(visited)) >= 3  # crossed several cells
+
+    def test_hysteresis_limits_switch_rate(self):
+        testbed = make_baseline(speed=15.0, start_x=6.0)
+        source, _ = testbed.add_downlink_udp_flow(0, rate_bps=10e6)
+        source.start()
+        duration_s = 8.0
+        testbed.run_seconds(duration_s)
+        agent = testbed.clients[0].agent
+        # Distinct-AP moves are rate-limited by the 1 s hysteresis;
+        # failed-handover fallbacks may add a couple of extra entries.
+        entries = [ap for _, ap in agent.association_log]
+        moves = sum(1 for a, b in zip(entries, entries[1:]) if a != b)
+        assert moves <= duration_s / 1.0 + 3
+
+    def test_stock_client_fails_at_speed(self):
+        """The §2 result: stock 802.11r needs a 5 s history, longer
+        than a 20 mph client spends in a picocell — the handover never
+        happens in the first cells."""
+        config = TestbedConfig(
+            seed=3,
+            scheme="baseline",
+            num_aps=2,
+            client_speeds_mph=[20.0],
+            roaming=stock_80211r_config(),
+        )
+        testbed = build_testbed(config)
+        source, _ = testbed.add_downlink_udp_flow(0, rate_bps=20e6)
+        source.start()
+        testbed.run_seconds(
+            min(testbed.transit_duration_us() / SECOND, 10.0)
+        )
+        agent = testbed.clients[0].agent
+        assert len(agent.association_log) <= 1  # never left AP0
+
+    def test_rssi_smoothing(self):
+        testbed = make_baseline(start_x=9.5)
+        testbed.run_seconds(2.0)
+        agent = testbed.clients[0].agent
+        rssi = agent.rssi_of("ap0")
+        assert rssi is not None and -90 < rssi < -40
+
+    def test_ft_over_ds_failure_falls_back(self):
+        """If the FT request can't reach the dying current AP, the
+        client retries with a direct association to the target."""
+        testbed = make_baseline(start_x=9.5)
+        agent = testbed.clients[0].agent
+        # Pretend the current AP is unreachable by pointing it at a
+        # device far away: force an FT toward ap1 via dead "ap7" link.
+        agent.current_ap = "ap7"  # 50+ m away: mgmt frames will die
+        agent._handover("ap1", "reassoc-req")
+        testbed.run_seconds(3.0)
+        assert agent.failed_handovers >= 1
+        # the fallback re-associated over the air (the agent may have
+        # picked the genuinely best AP over our suggested target)
+        assert agent.current_ap in ("ap0", "ap1")

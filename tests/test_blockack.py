@@ -1,0 +1,228 @@
+"""Tests for the block-ACK scoreboard and reorder buffer."""
+
+import pytest
+
+from repro.mac.blockack import BlockAckScoreboard, ReorderBuffer
+from repro.mac.frames import BA_WINDOW, SEQ_MODULO, seq_distance, seq_in_window
+from repro.net.packet import Packet
+
+
+def pkt(seq=0):
+    return Packet("server", "client0", 1500, seq=seq)
+
+
+# ----------------------------------------------------------------------
+# sequence arithmetic
+# ----------------------------------------------------------------------
+
+def test_seq_distance_forward():
+    assert seq_distance(10, 15) == 5
+    assert seq_distance(15, 10) == SEQ_MODULO - 5
+
+
+def test_seq_distance_wraps():
+    assert seq_distance(4090, 5) == 11
+
+
+def test_seq_in_window():
+    assert seq_in_window(10, 10)
+    assert seq_in_window(73, 10)
+    assert not seq_in_window(74, 10)
+    assert seq_in_window(3, 4090)  # wrapped window
+
+
+# ----------------------------------------------------------------------
+# scoreboard
+# ----------------------------------------------------------------------
+
+class TestScoreboard:
+    def test_issue_assigns_sequential_seqs(self):
+        board = BlockAckScoreboard()
+        seqs = [board.issue(pkt(i)).seq for i in range(5)]
+        assert seqs == [0, 1, 2, 3, 4]
+
+    def test_window_room_shrinks_as_issued(self):
+        board = BlockAckScoreboard()
+        assert board.window_room() == BA_WINDOW
+        for i in range(10):
+            board.issue(pkt(i))
+        assert board.window_room() == BA_WINDOW - 10
+
+    def test_window_full_raises(self):
+        board = BlockAckScoreboard()
+        for i in range(BA_WINDOW):
+            board.issue(pkt(i))
+        with pytest.raises(RuntimeError):
+            board.issue(pkt(99))
+
+    def test_full_ack_advances_window(self):
+        board = BlockAckScoreboard()
+        mpdus = [board.issue(pkt(i)) for i in range(8)]
+        board.record_transmit(mpdus)
+        delivered, dropped = board.process_block_ack({m.seq for m in mpdus})
+        assert len(delivered) == 8 and not dropped
+        assert board.window_start == 8
+        assert board.window_room() == BA_WINDOW
+
+    def test_partial_ack_schedules_retransmissions(self):
+        board = BlockAckScoreboard()
+        mpdus = [board.issue(pkt(i)) for i in range(4)]
+        board.record_transmit(mpdus)
+        delivered, dropped = board.process_block_ack({0, 2})
+        assert len(delivered) == 2 and not dropped
+        assert board.has_retransmits
+        retx = board.take_retransmits(10)
+        assert sorted(m.seq for m in retx) == [1, 3]
+        # window still anchored at the oldest unacked seq
+        assert board.window_start == 1
+
+    def test_timeout_queues_all_for_retry(self):
+        board = BlockAckScoreboard()
+        mpdus = [board.issue(pkt(i)) for i in range(3)]
+        board.record_transmit(mpdus)
+        board.process_timeout([m.seq for m in mpdus])
+        assert board.has_retransmits
+        assert len(board.take_retransmits(10)) == 3
+
+    def test_retry_limit_drops_mpdu(self):
+        board = BlockAckScoreboard(retry_limit=2)
+        mpdu = board.issue(pkt(0))
+        for _ in range(3):
+            board.record_transmit([mpdu] if mpdu not in [] else [mpdu])
+            board.process_timeout([mpdu.seq])
+            taken = board.take_retransmits(10)
+            if not taken:
+                break
+            mpdu = taken[0]
+        assert board.dropped == 1
+        assert board.window_start == board.next_seq
+
+    def test_forwarded_ba_cancels_pending_retransmission(self):
+        """The WGTT BA-forwarding path: a late-arriving forwarded BA
+        positively acks MPDUs already queued for retransmission."""
+        board = BlockAckScoreboard()
+        mpdus = [board.issue(pkt(i)) for i in range(2)]
+        board.record_transmit(mpdus)
+        board.process_timeout([0, 1])
+        delivered = board.apply_external_ack({0, 1})
+        assert len(delivered) == 2
+        assert not board.has_retransmits
+        assert board.window_start == 2
+
+    def test_external_ack_never_penalizes(self):
+        board = BlockAckScoreboard()
+        mpdus = [board.issue(pkt(i)) for i in range(3)]
+        board.record_transmit(mpdus)
+        board.apply_external_ack({1})
+        # 0 and 2 must remain outstanding, not counted as failures.
+        assert board.in_flight() == 2
+        assert board.retransmissions == 0
+
+    def test_reset_to_continues_sequence_space(self):
+        board = BlockAckScoreboard()
+        for i in range(5):
+            board.issue(pkt(i))
+        board.reset_to(1200)
+        assert board.next_seq == 1200
+        assert board.window_start == 1200
+        assert board.issue(pkt(9)).seq == 1200
+
+    def test_abandon_all_clears_and_advances(self):
+        board = BlockAckScoreboard()
+        mpdus = [board.issue(pkt(i)) for i in range(4)]
+        board.record_transmit(mpdus)
+        board.process_timeout([0, 1])
+        count = board.abandon_all()
+        assert count == 4
+        assert board.in_flight() == 0
+        assert board.window_start == board.next_seq
+
+    def test_acked_before(self):
+        board = BlockAckScoreboard()
+        mpdus = [board.issue(pkt(i)) for i in range(3)]
+        board.record_transmit(mpdus)
+        board.process_block_ack({0})
+        assert board.acked_before([0, 1, 2]) == {0}
+
+    def test_seq_wraps_at_modulo(self):
+        board = BlockAckScoreboard()
+        board.reset_to(SEQ_MODULO - 2)
+        seqs = [board.issue(pkt(i)).seq for i in range(4)]
+        assert seqs == [4094, 4095, 0, 1]
+
+
+# ----------------------------------------------------------------------
+# reorder buffer
+# ----------------------------------------------------------------------
+
+class TestReorderBuffer:
+    def test_in_order_release(self):
+        buffer = ReorderBuffer()
+        out = []
+        for i in range(3):
+            out.extend(p.seq for p in buffer.receive(i, pkt(i)))
+        assert out == [0, 1, 2]
+
+    def test_gap_blocks_until_filled(self):
+        buffer = ReorderBuffer()
+        assert buffer.receive(1, pkt(1)) == []
+        released = buffer.receive(0, pkt(0))
+        assert [p.seq for p in released] == [0, 1]
+
+    def test_duplicate_dropped_but_acked(self):
+        buffer = ReorderBuffer()
+        buffer.receive(0, pkt(0))
+        assert buffer.receive(0, pkt(0)) == []
+        assert buffer.duplicates == 1
+        # the BA still covers it so the sender stops retrying
+        assert buffer.ack_set([0]) == {0}
+
+    def test_behind_seq_counts_duplicate(self):
+        buffer = ReorderBuffer()
+        for i in range(5):
+            buffer.receive(i, pkt(i))
+        assert buffer.receive(2, pkt(2)) == []
+        assert buffer.duplicates == 1
+
+    def test_advance_to_skips_given_up_gap(self):
+        buffer = ReorderBuffer()
+        buffer.receive(0, pkt(0))
+        buffer.receive(2, pkt(2))  # 1 missing
+        released = buffer.advance_to(2)  # sender gave up on 1
+        assert [p.seq for p in released] == [2]
+        assert buffer.next_expected == 3
+
+    def test_advance_to_salvages_buffered(self):
+        buffer = ReorderBuffer()
+        buffer.receive(3, pkt(3))
+        buffer.receive(5, pkt(5))
+        released = buffer.advance_to(6)
+        assert [p.seq for p in released] == [3, 5]
+
+    def test_advance_backward_is_noop(self):
+        buffer = ReorderBuffer()
+        for i in range(10):
+            buffer.receive(i, pkt(i))
+        assert buffer.advance_to(5) == []
+        assert buffer.next_expected == 10
+
+    def test_ack_set_reports_only_received(self):
+        buffer = ReorderBuffer()
+        buffer.receive(0, pkt(0))
+        buffer.receive(2, pkt(2))
+        assert buffer.ack_set([0, 1, 2, 3]) == {0, 2}
+
+    def test_history_pruning_bounded(self):
+        buffer = ReorderBuffer()
+        for i in range(6000):
+            buffer.receive(i % SEQ_MODULO, pkt(i))
+            buffer.forget_old_history()
+        assert len(buffer._received_history) <= 8 * 4 * BA_WINDOW
+
+    def test_wraparound_delivery(self):
+        buffer = ReorderBuffer()
+        buffer._next_expected = SEQ_MODULO - 2
+        out = []
+        for seq in (SEQ_MODULO - 2, SEQ_MODULO - 1, 0, 1):
+            out.extend(p.seq for p in buffer.receive(seq, pkt(seq)))
+        assert out == [SEQ_MODULO - 2, SEQ_MODULO - 1, 0, 1]

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for key in ("fig13", "tab01", "ablations"):
+        assert key in out
+
+
+def test_list_covers_every_registered_experiment(capsys):
+    main(["list"])
+    out = capsys.readouterr().out
+    assert len([l for l in out.splitlines() if l.strip()]) == len(EXPERIMENTS)
+
+
+def test_drive_tcp(capsys):
+    code = main([
+        "drive", "--scheme", "wgtt", "--speed", "15", "--seconds", "2",
+        "--seed", "3",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+    assert "switches" in out
+    assert "timeouts" in out
+
+
+def test_drive_udp(capsys):
+    code = main([
+        "drive", "--scheme", "baseline", "--protocol", "udp",
+        "--seconds", "2", "--seed", "3", "--udp-rate-mbps", "10",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "baseline / UDP" in out
+    assert "timeouts" not in out
+
+
+def test_experiment_table_output(capsys):
+    code = main(["experiment", "tab01", "--seed", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "rate_mbps" in out and "mean_ms" in out
+
+
+def test_experiment_json_output(capsys):
+    code = main(["experiment", "fig10", "--json"])
+    assert code == 0
+    parsed = json.loads(capsys.readouterr().out)
+    assert "overlaps_m" in parsed
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "fig99"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,130 @@
+"""Tests for the WGTT cyclic queue and index allocator."""
+
+import pytest
+
+from repro.core.cyclic_queue import CyclicQueue, IndexAllocator
+from repro.net.packet import Packet
+
+
+def pkt(seq=0):
+    return Packet("server", "client0", 1500, seq=seq)
+
+
+class TestCyclicQueue:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            CyclicQueue(1000)
+
+    def test_insert_then_pop_in_order(self):
+        queue = CyclicQueue(4096)
+        for i in range(5):
+            queue.insert(i, pkt(i))
+        popped = [queue.pop_head() for _ in range(5)]
+        assert [(i, p.seq) for i, p in popped] == [(i, i) for i in range(5)]
+        assert queue.pop_head() is None
+
+    def test_pop_skips_fanout_gap(self):
+        """Indices missing because the AP was out of the fan-out set
+        will never arrive (FIFO backhaul) — pop skips them."""
+        queue = CyclicQueue(4096)
+        queue.insert(0, pkt(0))
+        queue.insert(5, pkt(5))  # 1-4 never arrived
+        assert queue.pop_head()[0] == 0
+        index, packet = queue.pop_head()
+        assert index == 5 and packet.seq == 5
+        assert queue.head == 6
+
+    def test_reader_never_passes_writer(self):
+        """Slots beyond the write edge hold previous-lap leftovers and
+        must never be served (the m=12 uniqueness guarantee): a
+        start(c, k) with k ahead of everything we hold proves our whole
+        buffer is stale."""
+        queue = CyclicQueue(16)
+        for i in range(4, 8):
+            queue.insert(i, pkt(100 + i))  # stale lap, edge = 8
+        dropped = queue.advance_to(10)  # k ahead of the write edge
+        assert dropped == 4
+        assert queue.occupancy() == 0
+        assert queue.pop_head() is None
+        queue.insert(10, pkt(10))
+        queue.insert(11, pkt(11))
+        assert queue.pop_head()[1].seq == 10
+        assert queue.pop_head()[1].seq == 11
+        assert queue.pop_head() is None
+
+    def test_advance_to_drops_passed_slots(self):
+        queue = CyclicQueue(4096)
+        for i in range(10):
+            queue.insert(i, pkt(i))
+        dropped = queue.advance_to(6)
+        assert dropped == 6
+        assert queue.pop_head()[0] == 6
+        assert queue.backlog() == 3
+
+    def test_advance_beyond_edge_clears_everything(self):
+        queue = CyclicQueue(4096)
+        for i in range(10):
+            queue.insert(i, pkt(i))
+        dropped = queue.advance_to(500)
+        assert dropped == 10
+        assert queue.occupancy() == 0
+        assert queue.pop_head() is None
+        # fresh data from the new position flows normally
+        queue.insert(500, pkt(500))
+        assert queue.pop_head()[0] == 500
+
+    def test_backlog_counts_only_serveable(self):
+        queue = CyclicQueue(4096)
+        for i in range(8):
+            queue.insert(i, pkt(i))
+        queue.pop_head()
+        assert queue.backlog() == 7
+
+    def test_backlog_packets_sorted(self):
+        queue = CyclicQueue(4096)
+        for i in (3, 1, 2):
+            queue.insert(i, pkt(i))
+        assert [i for i, _ in queue.backlog_packets()] == [1, 2, 3]
+
+    def test_overwrite_counted(self):
+        queue = CyclicQueue(4096)
+        queue.insert(7, pkt(1))
+        queue.insert(7, pkt(2))
+        assert queue.overwrites == 1
+
+    def test_wraparound_pop(self):
+        queue = CyclicQueue(16)
+        queue.advance_to(14)
+        for i in (14, 15, 0, 1):
+            queue.insert(i, pkt(i))
+        order = [queue.pop_head()[0] for _ in range(4)]
+        assert order == [14, 15, 0, 1]
+
+    def test_full_lap_insertion(self):
+        queue = CyclicQueue(64)
+        for i in range(64):
+            queue.insert(i, pkt(i))
+        assert queue.backlog() <= 64
+        popped = 0
+        while queue.pop_head() is not None:
+            popped += 1
+        assert popped > 0
+
+
+class TestIndexAllocator:
+    def test_sequential_per_client(self):
+        alloc = IndexAllocator(4096)
+        assert [alloc.allocate("a") for _ in range(3)] == [0, 1, 2]
+        assert alloc.allocate("b") == 0
+
+    def test_wraps_at_size(self):
+        alloc = IndexAllocator(8)
+        for _ in range(8):
+            alloc.allocate("a")
+        assert alloc.allocate("a") == 0
+
+    def test_peek_does_not_consume(self):
+        alloc = IndexAllocator(4096)
+        alloc.allocate("a")
+        assert alloc.peek("a") == 1
+        assert alloc.peek("a") == 1

@@ -1,0 +1,91 @@
+"""Tests for uplink de-duplication and the BA-forwarding seen-cache."""
+
+from repro.core.ba_forwarding import BaSeenCache, ForwardedBa
+from repro.core.dedup import PacketDeduplicator
+from repro.net.packet import Packet
+
+
+def pkt(src="client0", ip_id=0, protocol="udp"):
+    return Packet(src, "server", 100, protocol=protocol, ip_id=ip_id)
+
+
+class TestPacketDeduplicator:
+    def test_first_copy_accepted_rest_rejected(self):
+        dedup = PacketDeduplicator()
+        packet = pkt(ip_id=5)
+        assert dedup.accept(packet)
+        copy = pkt(ip_id=5)
+        assert not dedup.accept(copy)
+        assert dedup.duplicates == 1
+
+    def test_distinct_packets_pass(self):
+        dedup = PacketDeduplicator()
+        assert dedup.accept(pkt(ip_id=1))
+        assert dedup.accept(pkt(ip_id=2))
+        assert dedup.accept(pkt(src="client1", ip_id=1))
+
+    def test_arp_bypasses(self):
+        dedup = PacketDeduplicator()
+        assert dedup.accept(pkt(protocol="arp"))
+        assert dedup.accept(pkt(protocol="arp"))
+
+    def test_capacity_bounded_fifo_eviction(self):
+        dedup = PacketDeduplicator(capacity=4)
+        for i in range(5):
+            dedup.accept(pkt(ip_id=i))
+        # ip_id 0 was evicted; its "duplicate" now passes again.
+        assert dedup.accept(pkt(ip_id=0))
+
+    def test_duplicate_ratio(self):
+        dedup = PacketDeduplicator()
+        dedup.accept(pkt(ip_id=1))
+        dedup.accept(pkt(ip_id=1))
+        dedup.accept(pkt(ip_id=1))
+        assert abs(dedup.duplicate_ratio() - 2 / 3) < 1e-9
+
+    def test_invalid_capacity(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            PacketDeduplicator(capacity=0)
+
+
+class TestBaSeenCache:
+    def ba(self, start=0, acked=(1, 2), heard_by="ap2", at=0):
+        return ForwardedBa(
+            client="client0",
+            start_seq=start,
+            acked=frozenset(acked),
+            heard_by=heard_by,
+            heard_at_us=at,
+        )
+
+    def test_first_seen_accepted(self):
+        cache = BaSeenCache()
+        assert cache.check_and_record(self.ba(), now_us=0)
+
+    def test_same_info_rejected_even_from_other_ap(self):
+        cache = BaSeenCache()
+        assert cache.check_and_record(self.ba(heard_by="ap2"), now_us=0)
+        assert not cache.check_and_record(self.ba(heard_by="ap3"), now_us=10)
+
+    def test_locally_received_ba_blocks_forwarded_copy(self):
+        cache = BaSeenCache()
+        cache.record_local("client0", 0, {1, 2}, now_us=0)
+        assert not cache.check_and_record(self.ba(), now_us=100)
+
+    def test_different_bitmap_is_new_information(self):
+        cache = BaSeenCache()
+        assert cache.check_and_record(self.ba(acked=(1, 2)), now_us=0)
+        assert cache.check_and_record(self.ba(acked=(1, 2, 3)), now_us=10)
+
+    def test_entries_expire(self):
+        cache = BaSeenCache(horizon_us=1_000)
+        assert cache.check_and_record(self.ba(), now_us=0)
+        assert cache.check_and_record(self.ba(), now_us=5_000)
+
+    def test_len_tracks_entries(self):
+        cache = BaSeenCache()
+        cache.check_and_record(self.ba(start=0), now_us=0)
+        cache.check_and_record(self.ba(start=64), now_us=0)
+        assert len(cache) == 2

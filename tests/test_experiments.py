@@ -1,0 +1,57 @@
+"""Smoke tests for the experiment-driver layer (cheap drivers only —
+the expensive sweeps are exercised by the benchmark suite)."""
+
+import pytest
+
+from repro.experiments import fig02, fig10, format_table
+from repro.experiments.common import mean, seeds_for
+
+
+class TestCommonHelpers:
+    def test_seeds_for(self):
+        assert len(seeds_for(quick=True)) < len(seeds_for(quick=False))
+
+    def test_mean(self):
+        assert mean([1.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_format_table(self):
+        rows = [
+            {"a": 1, "b": 2.5},
+            {"a": 10, "b": float("inf")},
+        ]
+        text = format_table(rows, ["a", "b"])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.50" in text and "inf" in text
+        assert len(lines) == 4
+
+    def test_format_table_missing_key(self):
+        text = format_table([{"a": 1}], ["a", "missing"])
+        assert "-" in text
+
+
+class TestFig02Driver:
+    def test_returns_series_and_flip_stats(self):
+        result = fig02.run(seed=3, quick=True)
+        assert set(result["esnr_series"]) == {"ap0", "ap1", "ap2"}
+        lengths = {len(s) for s in result["esnr_series"].values()}
+        assert len(lengths) == 1
+        assert result["flips"] >= 0
+        assert 0.0 <= result["contested_fraction"] <= 1.0
+        assert result["best_ap"][0] in result["esnr_series"]
+
+
+class TestFig10Driver:
+    def test_heatmap_geometry(self):
+        result = fig10.run(seed=3)
+        assert len(result["heatmap"]) == 8
+        # each AP's kerbside ESNR peaks near its own x position
+        xs = result["xs"]
+        for i in range(8):
+            row = result["heatmap"][f"ap{i}"][0]
+            peak_x = xs[row.index(max(row))]
+            assert abs(peak_x - (10.0 + 7.5 * i)) < 2.0
+        # overlaps land in the paper's 6-10 m band (with slack)
+        for overlap in result["overlaps_m"]:
+            assert 4.0 <= overlap <= 12.0

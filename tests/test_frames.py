@@ -1,0 +1,95 @@
+"""Tests for 802.11 frame airtime arithmetic and constants."""
+
+import pytest
+
+from repro.mac.frames import (
+    BA_WINDOW,
+    BEACON_FRAME_BYTES,
+    DIFS_US,
+    HT_PREAMBLE_US,
+    LEGACY_PREAMBLE_US,
+    MAX_AMPDU_AIRTIME_US,
+    SEQ_MODULO,
+    SIFS_US,
+    SLOT_US,
+    AckFrame,
+    BeaconFrame,
+    BlockAckFrame,
+    DataAmpdu,
+    MgmtFrame,
+    Mpdu,
+)
+from repro.net.packet import Packet
+from repro.phy.mcs import mcs_by_index
+
+
+def test_timing_constants_are_2p4ghz_short_slot():
+    assert SIFS_US == 10
+    assert SLOT_US == 9
+    assert DIFS_US == 28
+    assert BA_WINDOW == 64
+    assert SEQ_MODULO == 4096
+
+
+def test_mpdu_sizes_include_mac_framing():
+    mpdu = Mpdu(seq=0, packet=Packet("a", "b", 1500))
+    assert mpdu.size_bytes == 1530
+    assert mpdu.wire_bytes == 1534
+
+
+def test_ampdu_duration_scales_with_payload_and_rate():
+    def ampdu(n, mcs_index):
+        mpdus = [Mpdu(seq=i, packet=Packet("a", "b", 1500)) for i in range(n)]
+        return DataAmpdu(
+            tx_device="ap0", ta="ap0", ra="c", mpdus=mpdus,
+            mcs=mcs_by_index(mcs_index),
+        )
+
+    one = ampdu(1, 7).duration_us()
+    ten = ampdu(10, 7).duration_us()
+    slow = ampdu(1, 0).duration_us()
+    assert ten > 5 * one  # aggregation amortizes only the preamble
+    assert slow > 5 * one  # MCS0 is 10x slower than MCS7
+    assert one > HT_PREAMBLE_US
+
+
+def test_ampdu_preamble_amortization():
+    """The whole point of aggregation: per-MPDU cost falls with size."""
+    def per_mpdu_airtime(n):
+        mpdus = [Mpdu(seq=i, packet=Packet("a", "b", 1500)) for i in range(n)]
+        frame = DataAmpdu(
+            tx_device="ap0", ta="ap0", ra="c", mpdus=mpdus,
+            mcs=mcs_by_index(7),
+        )
+        return frame.duration_us() / n
+
+    assert per_mpdu_airtime(20) < per_mpdu_airtime(1)
+
+
+def test_block_ack_duration_fixed_and_short():
+    ba = BlockAckFrame(tx_device="c", ta="c", ra="ap0")
+    assert LEGACY_PREAMBLE_US < ba.duration_us() < 60
+
+
+def test_beacon_duration_at_basic_rate():
+    beacon = BeaconFrame(tx_device="ap0", ta="ap0", ra="*")
+    expected = LEGACY_PREAMBLE_US + round(BEACON_FRAME_BYTES * 8 / 6.0)
+    assert abs(beacon.duration_us() - expected) <= 1
+    assert beacon.is_broadcast
+
+
+def test_mgmt_and_ack_durations():
+    mgmt = MgmtFrame(tx_device="c", ta="c", ra="ap0", subtype="assoc-req")
+    ack = AckFrame(tx_device="ap0", ta="ap0", ra="c")
+    assert mgmt.duration_us() > ack.duration_us()
+    assert ack.duration_us() < 40
+
+
+def test_frame_ids_are_unique():
+    a = AckFrame(tx_device="x", ta="x", ra="y")
+    b = AckFrame(tx_device="x", ta="x", ra="y")
+    assert a.frame_id != b.frame_id
+
+
+def test_max_ampdu_airtime_budget_is_4ms():
+    assert MAX_AMPDU_AIRTIME_US == 4000

@@ -1,0 +1,84 @@
+"""Tests for the side-effect-free channel probe and link caching."""
+
+import numpy as np
+
+from repro.channel import ChannelMap, OmniAntenna, ParabolicAntenna, RadioPort
+from repro.mobility import Position, Road, VehicleTrack
+from repro.sim import RngRegistry, Simulator
+
+
+def make_link(seed=2, speed=15.0):
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    road = Road()
+    cmap = ChannelMap(sim, rng)
+    mount = Position(15.0, -12.0, 10.0)
+    antenna = ParabolicAntenna(mount=mount, boresight=Position(15.0, 0.0, 1.5))
+    cmap.register_port(RadioPort("ap0", antenna, 20.0, lambda t: mount))
+    track = VehicleTrack(road, start_x=10.0, speed_mph=speed)
+    cmap.register_port(
+        RadioPort("client0", OmniAntenna(), 15.0, track.position_at,
+                  lambda: track.speed_mps)
+    )
+    return cmap.link("ap0", "client0")
+
+
+class TestProbe:
+    def test_probe_is_idempotent(self):
+        link = make_link()
+        a = link.probe_subcarrier_snr_db(5_000)
+        b = link.probe_subcarrier_snr_db(5_000)
+        assert np.array_equal(a, b)
+
+    def test_probe_does_not_change_committed_path(self):
+        link = make_link()
+        committed_before = link.subcarrier_snr_db(1_000).copy()
+        # reconstruct an identical link and interleave probes
+        link2 = make_link()
+        link2.probe_subcarrier_snr_db(500)
+        link2.probe_subcarrier_snr_db(900)
+        committed_after = link2.subcarrier_snr_db(1_000)
+        assert np.array_equal(committed_before, committed_after)
+
+    def test_probe_matches_cache_at_committed_time(self):
+        link = make_link()
+        committed = link.subcarrier_snr_db(2_000)
+        probed = link.probe_subcarrier_snr_db(2_000)
+        assert np.array_equal(committed, probed)
+
+    def test_probe_statistics_are_sane(self):
+        link = make_link()
+        link.subcarrier_snr_db(0)
+        values = [
+            float(np.mean(link.probe_subcarrier_snr_db(t)))
+            for t in range(10_000, 200_000, 10_000)
+        ]
+        mean_level = link.mean_snr_db(100_000)
+        assert abs(np.mean(values) - mean_level) < 8.0
+
+    def test_tx_id_validation(self):
+        import pytest
+
+        link = make_link()
+        with pytest.raises(ValueError):
+            link.mean_snr_db(0, tx_id="nobody")
+
+    def test_symmetric_link_lookup(self):
+        sim = Simulator()
+        rng = RngRegistry(4)
+        cmap = ChannelMap(sim, rng)
+        p = Position(0, 0, 0)
+        cmap.register_port(RadioPort("a", OmniAntenna(), 10.0, lambda t: p))
+        cmap.register_port(RadioPort("b", OmniAntenna(), 10.0, lambda t: p))
+        assert cmap.link("a", "b") is cmap.link("b", "a")
+
+    def test_self_link_rejected(self):
+        import pytest
+
+        sim = Simulator()
+        rng = RngRegistry(4)
+        cmap = ChannelMap(sim, rng)
+        p = Position(0, 0, 0)
+        cmap.register_port(RadioPort("a", OmniAntenna(), 10.0, lambda t: p))
+        with pytest.raises(ValueError):
+            cmap.link("a", "a")

@@ -1,0 +1,80 @@
+"""Tests for the run-time recorders (rate log, uplink loss meter)."""
+
+from repro.metrics.recorder import RateUsageLog, UplinkLossMeter
+from repro.scenarios.testbed import TestbedConfig, build_testbed
+from repro.sim import SECOND, Simulator
+
+
+class FakeCounter:
+    def __init__(self):
+        self.packets_sent = 0
+        self._received = 0
+
+    def packets_received(self):
+        return self._received
+
+
+class TestUplinkLossMeter:
+    def test_windowed_loss(self):
+        sim = Simulator()
+        source, sink = FakeCounter(), FakeCounter()
+        meter = UplinkLossMeter(sim, source, sink)
+        source.packets_sent = 100
+        sink._received = 90
+        meter.sample()
+        source.packets_sent = 200
+        sink._received = 190
+        meter.sample()
+        rates = meter.loss_rates()
+        assert abs(rates[0] - 0.1) < 1e-9
+        assert rates[1] == 0.0
+
+    def test_no_traffic_is_zero_loss(self):
+        sim = Simulator()
+        meter = UplinkLossMeter(sim, FakeCounter(), FakeCounter())
+        meter.sample()
+        assert meter.loss_rates() == [0.0]
+
+    def test_receiver_ahead_clamps_to_zero(self):
+        sim = Simulator()
+        source, sink = FakeCounter(), FakeCounter()
+        meter = UplinkLossMeter(sim, source, sink)
+        source.packets_sent = 10
+        sink._received = 10
+        meter.sample()
+        # next bin: only deliveries (queue drain), no new sends
+        sink._received = 15
+        source.packets_sent = 10
+        meter.sample()
+        assert meter.loss_rates()[1] == 0.0
+
+
+class TestRateUsageLog:
+    def test_captures_rates_for_target_client(self):
+        testbed = build_testbed(
+            TestbedConfig(seed=3, scheme="wgtt", client_speeds_mph=[0.0],
+                          client_start_x_m=9.5)
+        )
+        log = RateUsageLog(testbed, client_id="client0")
+        source, _ = testbed.add_downlink_udp_flow(0, rate_bps=20e6)
+        source.start()
+        testbed.run_seconds(1.5)
+        rates = log.rates_mbps()
+        assert rates
+        assert all(5.0 <= r <= 72.2 for r in rates)
+        # MPDU weighting yields more samples than per-aggregate logging
+        assert len(rates) > len(log.rates_mbps(weight_by_mpdus=False))
+
+    def test_hook_preserves_original_callback(self):
+        testbed = build_testbed(
+            TestbedConfig(seed=3, scheme="wgtt", client_speeds_mph=[0.0],
+                          client_start_x_m=9.5)
+        )
+        seen = []
+        device = testbed.wgtt_aps["ap0"].device
+        device.on_rate_used = lambda peer, mcs, n: seen.append(n)
+        RateUsageLog(testbed, client_id="client0")
+        source, _ = testbed.add_downlink_udp_flow(0, rate_bps=10e6)
+        source.start()
+        testbed.run_seconds(1.0)
+        assert seen  # the pre-existing hook still fires

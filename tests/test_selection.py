@@ -1,0 +1,94 @@
+"""Tests for the median-ESNR AP selector."""
+
+import pytest
+
+from repro.core.selection import ApSelector
+
+
+def test_window_must_be_positive():
+    with pytest.raises(ValueError):
+        ApSelector(0)
+
+
+def test_median_of_window():
+    selector = ApSelector(10_000)
+    for t, esnr in [(0, 10.0), (1000, 30.0), (2000, 20.0)]:
+        selector.record("c", "ap1", t, esnr)
+    assert selector.median_esnr("c", "ap1", 2000) == 20.0
+
+
+def test_old_readings_pruned():
+    selector = ApSelector(10_000)
+    selector.record("c", "ap1", 0, 25.0)
+    assert selector.median_esnr("c", "ap1", 5_000) == 25.0
+    assert selector.median_esnr("c", "ap1", 20_000) is None
+
+
+def test_best_ap_picks_max_median():
+    selector = ApSelector(10_000)
+    for t in range(0, 10_000, 2_000):
+        selector.record("c", "ap1", t, 12.0)
+        selector.record("c", "ap2", t, 18.0)
+    assert selector.best_ap("c", 9_000) == "ap2"
+
+
+def test_median_rides_out_single_outlier():
+    """The paper's argument for the median: one fading fluke must not
+    flip the decision."""
+    selector = ApSelector(10_000)
+    for t in range(0, 10_000, 2_000):
+        selector.record("c", "ap1", t, 20.0)
+        selector.record("c", "ap2", t, 15.0)
+    selector.record("c", "ap2", 9_500, 40.0)  # one lucky spike
+    assert selector.best_ap("c", 9_900) == "ap1"
+
+
+def test_incumbent_wins_ties_and_margin():
+    selector = ApSelector(10_000)
+    selector.record("c", "ap1", 0, 20.0)
+    selector.record("c", "ap2", 0, 20.5)
+    assert (
+        selector.best_ap("c", 1000, incumbent="ap1", margin_db=1.0) == "ap1"
+    )
+    assert (
+        selector.best_ap("c", 1000, incumbent="ap1", margin_db=0.0) == "ap2"
+    )
+
+
+def test_no_readings_returns_incumbent():
+    selector = ApSelector(10_000)
+    assert selector.best_ap("c", 1000, incumbent="ap3") == "ap3"
+    assert selector.best_ap("c", 1000) is None
+
+
+def test_candidates_are_fanout_set():
+    selector = ApSelector(10_000)
+    selector.record("c", "ap1", 0, 10.0)
+    selector.record("c", "ap2", 5_000, 10.0)
+    assert set(selector.candidates("c", 6_000)) == {"ap1", "ap2"}
+    assert set(selector.candidates("c", 12_000)) == {"ap2"}
+
+
+def test_clients_are_independent():
+    selector = ApSelector(10_000)
+    selector.record("c1", "ap1", 0, 30.0)
+    selector.record("c2", "ap2", 0, 30.0)
+    assert selector.best_ap("c1", 100) == "ap1"
+    assert selector.best_ap("c2", 100) == "ap2"
+
+
+def test_forget_client():
+    selector = ApSelector(10_000)
+    selector.record("c", "ap1", 0, 30.0)
+    selector.forget_client("c")
+    assert selector.best_ap("c", 100) is None
+
+
+def test_incumbent_without_readings_can_lose():
+    """If the incumbent fell silent (left the fan-out), any AP with
+    readings wins regardless of margin."""
+    selector = ApSelector(10_000)
+    selector.record("c", "ap2", 9_000, 8.0)
+    assert (
+        selector.best_ap("c", 9_500, incumbent="ap1", margin_db=5.0) == "ap2"
+    )

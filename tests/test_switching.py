@@ -1,0 +1,126 @@
+"""Tests for the stop/start/ack switching protocol coordinator."""
+
+import pytest
+
+from repro.core.config import WgttConfig
+from repro.core.switching import AckMsg, StartMsg, StopMsg, SwitchCoordinator
+from repro.net.backhaul import EthernetBackhaul
+from repro.sim import Simulator
+
+
+def make_coordinator(drop_stops=0):
+    """Coordinator wired to a fake AP pair on a real backhaul.
+
+    ``drop_stops``: number of initial stop messages ap1 ignores, to
+    exercise the 30 ms retransmission path.
+    """
+    sim = Simulator()
+    backhaul = EthernetBackhaul(sim)
+    config = WgttConfig()
+    coordinator = SwitchCoordinator(sim, backhaul, config)
+    state = {"stops": 0, "starts": 0, "dropped": drop_stops}
+
+    def ap1_handler(src, kind, payload):
+        if kind != "stop":
+            return
+        state["stops"] += 1
+        if state["dropped"] > 0:
+            state["dropped"] -= 1
+            return
+        start = StartMsg(
+            client=payload.client,
+            index=123,
+            switch_id=payload.switch_id,
+            from_ap="ap1",
+        )
+        backhaul.send_control("ap1", payload.target_ap, "start", start)
+
+    def ap2_handler(src, kind, payload):
+        if kind != "start":
+            return
+        state["starts"] += 1
+        ack = AckMsg(client=payload.client, ap="ap2", switch_id=payload.switch_id)
+        backhaul.send_control("ap2", "controller", "ack", ack)
+
+    def controller_handler(src, kind, payload):
+        if kind == "ack":
+            coordinator.on_ack(payload)
+
+    backhaul.register("ap1", ap1_handler)
+    backhaul.register("ap2", ap2_handler)
+    backhaul.register("controller", controller_handler)
+    return sim, coordinator, state, config
+
+
+def test_three_step_switch_completes():
+    sim, coordinator, state, _ = make_coordinator()
+    coordinator.initiate("client0", "ap1", "ap2")
+    assert coordinator.busy("client0")
+    sim.run()
+    assert not coordinator.busy("client0")
+    assert state["stops"] == 1 and state["starts"] == 1
+    assert len(coordinator.history) == 1
+    record = coordinator.history[0]
+    assert record.from_ap == "ap1" and record.to_ap == "ap2"
+    assert record.duration_us is not None and record.duration_us > 0
+
+
+def test_lost_stop_retransmitted_after_30ms():
+    sim, coordinator, state, config = make_coordinator(drop_stops=1)
+    coordinator.initiate("client0", "ap1", "ap2")
+    sim.run()
+    assert state["stops"] == 2
+    record = coordinator.history[0]
+    assert record.retries == 1
+    assert record.duration_us >= config.switch_timeout_us
+
+
+def test_gives_up_after_retry_limit():
+    sim, coordinator, state, config = make_coordinator(drop_stops=100)
+    coordinator.initiate("client0", "ap1", "ap2")
+    sim.run()
+    assert coordinator.abandoned == 1
+    assert not coordinator.busy("client0")
+    assert state["stops"] == config.switch_retry_limit + 1
+    assert coordinator.history[0].completed_us is None
+
+
+def test_no_concurrent_switch_for_same_client():
+    sim, coordinator, _, _ = make_coordinator()
+    coordinator.initiate("client0", "ap1", "ap2")
+    with pytest.raises(RuntimeError):
+        coordinator.initiate("client0", "ap2", "ap1")
+
+
+def test_switch_to_self_rejected():
+    _, coordinator, _, _ = make_coordinator()
+    with pytest.raises(ValueError):
+        coordinator.initiate("client0", "ap1", "ap1")
+
+
+def test_stale_ack_ignored():
+    sim, coordinator, _, _ = make_coordinator()
+    coordinator.initiate("client0", "ap1", "ap2")
+    stale = AckMsg(client="client0", ap="ap2", switch_id=999)
+    coordinator.on_ack(stale)
+    assert coordinator.busy("client0")
+    sim.run()
+    assert not coordinator.busy("client0")
+
+
+def test_different_clients_switch_concurrently():
+    sim, coordinator, _, _ = make_coordinator()
+    coordinator.initiate("client0", "ap1", "ap2")
+    coordinator.initiate("client1", "ap1", "ap2")
+    assert coordinator.busy("client0") and coordinator.busy("client1")
+    sim.run()
+    assert len(coordinator.completed_durations_us()) == 2
+
+
+def test_on_complete_callback():
+    sim, coordinator, _, _ = make_coordinator()
+    done = []
+    coordinator.on_complete = lambda record: done.append(record.to_ap)
+    coordinator.initiate("client0", "ap1", "ap2")
+    sim.run()
+    assert done == ["ap2"]

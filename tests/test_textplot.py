@@ -1,0 +1,59 @@
+"""Tests for the terminal plotting helpers."""
+
+from repro.metrics.textplot import cdf_strip, series_panel, sparkline, timeline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_levels(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8])
+        assert line == " ▁▂▃▄▅▆▇█"
+
+    def test_flat_series_does_not_crash(self):
+        assert len(sparkline([5, 5, 5])) == 3
+
+    def test_explicit_scale_clamps(self):
+        line = sparkline([100.0], lo=0.0, hi=10.0)
+        assert line == "█"
+
+
+class TestSeriesPanel:
+    def test_shared_scale(self):
+        panel = series_panel({"a": [1, 1], "b": [10, 10]})
+        lines = panel.splitlines()
+        assert len(lines) == 2
+        # 'a' renders low on the shared scale, 'b' renders at the top
+        assert "█" in lines[1]
+        assert "█" not in lines[0]
+
+    def test_empty(self):
+        assert series_panel({}) == ""
+
+
+class TestTimeline:
+    def test_step_changes(self):
+        line = timeline([(0.0, "ap0"), (5.0, "ap1")], duration=10.0, slots=10)
+        assert line == "0000011111"
+
+    def test_unknown_before_first_event(self):
+        line = timeline([(5.0, "ap2")], duration=10.0, slots=10)
+        assert line.startswith(".")
+        assert line.endswith("2")
+
+    def test_zero_duration(self):
+        assert timeline([(0, "a")], duration=0) == ""
+
+
+class TestCdfStrip:
+    def test_percentile_values(self):
+        strip = cdf_strip(list(range(100)), percentiles=(50, 90))
+        assert "p50=50.0" in strip
+        assert "p90=90.0" in strip
+
+    def test_empty(self):
+        assert cdf_strip([]) == "(no samples)"
