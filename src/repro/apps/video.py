@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.sim.engine import MS, SECOND, Simulator, Timer
-from repro.transport.tcp import TcpReceiver, TcpSender
+from repro.transport.tcp import TcpReceiver
 
 #: 1280x720 stream at a typical H.264 rate.
 HD_BITRATE_BPS = 3_000_000

@@ -15,7 +15,7 @@ from typing import List, Optional
 
 from repro.scenarios.testbed import Testbed
 from repro.sim.engine import SECOND
-from repro.transport.tcp import MSS, TcpReceiver, TcpSender
+from repro.transport.tcp import MSS
 
 #: eBay homepage weight in the paper's measurement.
 PAGE_BYTES = 2_100_000

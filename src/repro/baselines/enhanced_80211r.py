@@ -25,9 +25,8 @@ which is longer than a 20 mph client stays in a picocell.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.mac.frames import BeaconFrame, MgmtFrame
 from repro.mac.medium import WirelessMedium

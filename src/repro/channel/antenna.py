@@ -58,11 +58,25 @@ class ParabolicAntenna(Antenna):
     beamwidth_deg: float = 21.0
     side_lobe_suppression_db: float = 18.0
 
+    def __post_init__(self) -> None:
+        # The boresight ray never changes; computing it per gain query
+        # was a measurable slice of the channel hot path.  Treat mount
+        # and boresight as frozen after construction.
+        self._bore = _unit_vector(self.mount, self.boresight)
+
     def off_axis_angle_rad(self, target: Position) -> float:
         """Angle between the boresight ray and the ray to ``target``."""
-        bore = _unit_vector(self.mount, self.boresight)
-        to_target = _unit_vector(self.mount, target)
-        dot = max(-1.0, min(1.0, sum(b * t for b, t in zip(bore, to_target))))
+        bx, by, bz = self._bore
+        mount = self.mount
+        dx = target.x - mount.x
+        dy = target.y - mount.y
+        dz = target.z - mount.z
+        norm = math.sqrt(dx * dx + dy * dy + dz * dz)
+        if norm == 0.0:
+            dot = bx
+        else:
+            dot = bx * (dx / norm) + by * (dy / norm) + bz * (dz / norm)
+        dot = max(-1.0, min(1.0, dot))
         return math.acos(dot)
 
     def gain_dbi(self, target: Position) -> float:

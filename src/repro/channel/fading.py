@@ -18,6 +18,7 @@ single exact AR(1) step per tap, so idle links cost nothing.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Optional
 
 import numpy as np
@@ -89,10 +90,11 @@ class TappedRayleighChannel:
         )
         self._taps = self._draw_stationary()
         self._last_time_us: Optional[int] = None
-        # DFT matrix mapping taps -> subcarrier gains, computed once.
-        subcarrier_indices = _ht20_subcarrier_indices()
-        k = subcarrier_indices[:, None] * np.arange(num_taps)[None, :]
-        self._dft = np.exp(-2j * np.pi * k / FFT_SIZE)
+        # DFT matrix mapping taps -> subcarrier gains.  A scenario has
+        # O(APs x clients) links, each with its own channel instance,
+        # but the matrix depends only on the tap count — share one copy
+        # per tap count across the whole process.
+        self._dft = _dft_matrix(num_taps)
 
     def _draw_stationary(self) -> np.ndarray:
         real = self._rng.standard_normal(self.num_taps)
@@ -116,22 +118,38 @@ class TappedRayleighChannel:
         if dt <= 0:
             return
         rho = math.exp(-dt / coherence_us)
-        innovation = (
-            self._rng.standard_normal(self.num_taps)
-            + 1j * self._rng.standard_normal(self.num_taps)
-        ) * self._scatter_scale
-        scattered = self._taps.copy()
-        los = 0.0
+        n = self.num_taps
+        # One RNG call for both quadratures: standard_normal(2n) yields
+        # the same stream of values as two standard_normal(n) calls, so
+        # seeded runs are unchanged.
+        draws = self._rng.standard_normal(2 * n)
+        innovation = (draws[:n] + 1j * draws[n:]) * self._scatter_scale
         if self._k_linear > 0.0:
             los = math.sqrt(
                 self._tap_powers[0] * self._k_linear / (1.0 + self._k_linear)
             )
+            scattered = self._taps.copy()
             scattered[0] -= los
-        scattered = rho * scattered + math.sqrt(1.0 - rho * rho) * innovation
-        if self._k_linear > 0.0:
+            scattered = rho * scattered + math.sqrt(1.0 - rho * rho) * innovation
             scattered[0] += los
-        self._taps = scattered
+            self._taps = scattered
+        else:
+            # Pure Rayleigh (the default): no LOS bookkeeping, no copy.
+            self._taps = rho * self._taps + math.sqrt(1.0 - rho * rho) * innovation
         self._last_time_us = time_us
+
+    def power_at(self, time_us: int, coherence_us: float) -> np.ndarray:
+        """Fused evolve + per-subcarrier power in one step.
+
+        Equivalent to ``evolve_to`` followed by ``subcarrier_power``
+        (same RNG draws, same state updates) but avoids the complex
+        conjugate-multiply temporary — this is the per-frame path.
+        """
+        self.evolve_to(time_us, coherence_us)
+        gains = self._dft @ self._taps
+        re = gains.real
+        im = gains.imag
+        return re * re + im * im
 
     def peek_power_at(self, time_us: int, coherence_us: float) -> np.ndarray:
         """Subcarrier power at ``time_us`` *without* perturbing the
@@ -141,9 +159,7 @@ class TappedRayleighChannel:
         saved_time = self._last_time_us
         saved_rng_state = self._rng.bit_generator.state
         try:
-            self.evolve_to(time_us, coherence_us)
-            gains = self._dft @ self._taps
-            return (gains * gains.conj()).real
+            return self.power_at(time_us, coherence_us)
         finally:
             self._taps = saved_taps
             self._last_time_us = saved_time
@@ -156,10 +172,24 @@ class TappedRayleighChannel:
     def subcarrier_power(self) -> np.ndarray:
         """|h_k|^2 per subcarrier — multiplies the mean link SNR."""
         gains = self.subcarrier_gains()
-        return (gains * gains.conj()).real
+        re = gains.real
+        im = gains.imag
+        return re * re + im * im
 
 
 def _ht20_subcarrier_indices() -> np.ndarray:
     """The 56 occupied subcarrier indices of an HT20 channel (-28..28, no DC)."""
     indices = [k for k in range(-28, 29) if k != 0]
     return np.array(indices)
+
+
+@lru_cache(maxsize=None)
+def _dft_matrix(num_taps: int) -> np.ndarray:
+    """Shared taps -> subcarrier-gains DFT matrix for ``num_taps`` taps.
+
+    Built once per process and shared by every
+    :class:`TappedRayleighChannel`; treated as frozen by all users.
+    """
+    subcarrier_indices = _ht20_subcarrier_indices()
+    k = subcarrier_indices[:, None] * np.arange(num_taps)[None, :]
+    return np.exp(-2j * np.pi * k / FFT_SIZE)

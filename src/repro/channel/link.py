@@ -18,7 +18,7 @@ on when it predicts *downlink* deliverability from *uplink* CSI.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -53,9 +53,23 @@ class RadioPort:
     tx_power_dbm: float
     position_fn: Callable[[int], Position]
     speed_mps_fn: Callable[[], float] = field(default=lambda: 0.0)
+    #: One-slot position memo.  A client port is shared by every link
+    #: that involves the client, so when a frame completes, the mobility
+    #: model is evaluated once per timestamp instead of once per link.
+    _pos_time: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _pos_cache: Optional[Position] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def position_at(self, time_us: int) -> Position:
-        return self.position_fn(time_us)
+        if self._pos_time == time_us:
+            return self._pos_cache
+        pos = self.position_fn(time_us)
+        self._pos_time = time_us
+        self._pos_cache = pos
+        return pos
 
 
 class Link:
@@ -82,6 +96,26 @@ class Link:
         )
         self._cache_time: Optional[int] = None
         self._cache_power: Optional[np.ndarray] = None
+        # scalar memos keyed on (time_us, tx_power_dbm): geometry terms
+        # and the derived effective SNR, both re-asked several times per
+        # event (medium decode check, interference terms, CSI path).
+        self._mean_snr_key: Optional[Tuple[int, float]] = None
+        self._mean_snr_db: float = 0.0
+        self._esnr_key: Optional[Tuple[int, float]] = None
+        self._esnr_db: float = 0.0
+        self._coh_speed: Optional[float] = None
+        self._coh_us: float = 0.0
+
+    def invalidate_geometry(self) -> None:
+        """Drop the scalar geometry memos.
+
+        The memos key on simulation time, which assumes positions are a
+        pure function of time.  Drivers that *mutate* geometry at a
+        fixed time (fig10 walks a probe client across a grid) must call
+        :meth:`ChannelMap.invalidate_geometry` after each mutation.
+        """
+        self._mean_snr_key = None
+        self._esnr_key = None
 
     # ------------------------------------------------------------------
     # large-scale terms
@@ -115,13 +149,27 @@ class Link:
 
         The transmitter is named by ``tx_id`` (either endpoint), or by
         the ``downlink`` flag for the common AP→client / client→AP case.
+
+        The geometry terms (positions, antenna gains, path loss) are
+        memoized per ``(time_us, tx_power)`` — the medium asks for this
+        several times per frame (decode check, interference, RSSI).
         """
-        return (
-            self._tx_power_dbm(downlink, tx_id)
-            + self._combined_gain_db(time_us)
-            - self.pathloss.loss_db(self.distance_m(time_us))
+        tx_dbm = self._tx_power_dbm(downlink, tx_id)
+        key = (time_us, tx_dbm)
+        if self._mean_snr_key == key:
+            return self._mean_snr_db
+        ap_pos = self.ap.position_at(time_us)
+        client_pos = self.client.position_at(time_us)
+        value = (
+            tx_dbm
+            + self.ap.antenna.gain_dbi(client_pos)
+            + self.client.antenna.gain_dbi(ap_pos)
+            - self.pathloss.loss_db(ap_pos.distance_to(client_pos))
             - NOISE_FLOOR_DBM
         )
+        self._mean_snr_key = key
+        self._mean_snr_db = value
+        return value
 
     def mean_rx_power_dbm(
         self, time_us: int, downlink: bool = True, tx_id: Optional[str] = None
@@ -135,14 +183,18 @@ class Link:
 
     def _coherence_us(self) -> float:
         speed = max(self.ap.speed_mps_fn(), self.client.speed_mps_fn())
-        doppler = doppler_hz(speed, self.pathloss.wavelength_m)
-        return coherence_time_us(doppler, self._coherence_factor)
+        # Speeds are constant for most of a run; memoize the Doppler /
+        # coherence math on the speed value itself.
+        if speed != self._coh_speed:
+            doppler = doppler_hz(speed, self.pathloss.wavelength_m)
+            self._coh_speed = speed
+            self._coh_us = coherence_time_us(doppler, self._coherence_factor)
+        return self._coh_us
 
     def _subcarrier_power(self, time_us: int) -> np.ndarray:
         """Fading power per subcarrier, evolved (and cached) for ``time_us``."""
         if self._cache_time != time_us:
-            self._fading.evolve_to(time_us, self._coherence_us())
-            self._cache_power = self._fading.subcarrier_power()
+            self._cache_power = self._fading.power_at(time_us, self._coherence_us())
             self._cache_time = time_us
         return self._cache_power
 
@@ -153,11 +205,36 @@ class Link:
         mean_db = self.mean_snr_db(time_us, downlink, tx_id)
         return mean_db + linear_to_db(self._subcarrier_power(time_us))
 
+    def esnr_db(
+        self, time_us: int, downlink: bool = True, tx_id: Optional[str] = None
+    ) -> float:
+        """Effective SNR of the link at ``time_us``, memoized.
+
+        The memo key pairs the timestamp with the resolved transmit
+        power, so the two directions of the link cache independently;
+        it sits alongside the subcarrier-power cache and makes repeated
+        per-frame ESNR queries (controller metrics, figure drivers)
+        O(1) after the first evaluation.
+        """
+        from repro.phy.esnr import effective_snr_db
+
+        tx_dbm = self._tx_power_dbm(downlink, tx_id)
+        key = (time_us, tx_dbm)
+        if self._esnr_key == key:
+            return self._esnr_db
+        value = effective_snr_db(self.subcarrier_snr_db(time_us, downlink, tx_id))
+        self._esnr_key = key
+        self._esnr_db = value
+        return value
+
     def rssi_dbm(
         self, time_us: int, downlink: bool = True, tx_id: Optional[str] = None
     ) -> float:
         """Instantaneous wideband received power including fading."""
-        fading_db = float(linear_to_db(np.mean(self._subcarrier_power(time_us))))
+        power = self._subcarrier_power(time_us)
+        fading_db = float(
+            linear_to_db(float(np.add.reduce(power)) / power.shape[0])
+        )
         return self.mean_rx_power_dbm(time_us, downlink, tx_id) + fading_db
 
     def probe_subcarrier_snr_db(
@@ -206,6 +283,9 @@ class ChannelMap:
         self._rician_k_db = rician_k_db
         self._links: Dict[Tuple[str, str], Link] = {}
         self._ports: Dict[str, RadioPort] = {}
+        #: per-endpoint index of instantiated links, maintained on link
+        #: creation so ``links_for_client`` never scans the full map.
+        self._links_by_port: Dict[str, List[Link]] = {}
 
     def register_port(self, port: RadioPort) -> None:
         if port.node_id in self._ports:
@@ -240,15 +320,29 @@ class ChannelMap:
                 rician_k_db=self._rician_k_db,
             )
             self._links[key] = existing
+            self._links_by_port.setdefault(key[0], []).append(existing)
+            self._links_by_port.setdefault(key[1], []).append(existing)
         return existing
 
+    def invalidate_geometry(self) -> None:
+        """Drop every position/geometry memo in the scenario.
+
+        Required after mutating a mobility model in place at a fixed
+        simulation time (see :meth:`Link.invalidate_geometry`).
+        """
+        for port in self._ports.values():
+            port._pos_time = None
+            port._pos_cache = None
+        for link in self._links.values():
+            link.invalidate_geometry()
+
     def links_for_client(self, client_id: str):
-        """All instantiated links that involve ``client_id``."""
-        return [
-            link
-            for key, link in self._links.items()
-            if client_id in key
-        ]
+        """All instantiated links that involve ``client_id``.
+
+        Served from the per-endpoint index (O(links of this client))
+        rather than a scan of every link in the scenario.
+        """
+        return list(self._links_by_port.get(client_id, ()))
 
 
 def subcarrier_count() -> int:

@@ -10,7 +10,7 @@ replication is a broadcast backhaul message.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Set
 
 #: Wire size of one replicated sta_info record.

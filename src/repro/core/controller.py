@@ -23,7 +23,7 @@ from repro.core.config import WgttConfig
 from repro.core.cyclic_queue import IndexAllocator
 from repro.core.dedup import PacketDeduplicator
 from repro.core.selection import ApSelector
-from repro.core.switching import AckMsg, SwitchCoordinator, SwitchRecord
+from repro.core.switching import SwitchCoordinator, SwitchRecord
 from repro.net.backhaul import EthernetBackhaul
 from repro.net.packet import Packet
 from repro.net.tunnel import tunnel_wire_size

@@ -9,12 +9,62 @@ still reacting within the window.
 
 The same window also defines the downlink fan-out set: the APs that
 have heard anything from the client recently (paper footnote 1).
+
+Performance: this is the code the controller runs every 2 ms for every
+client, so the window is maintained *incrementally*.  Each link keeps
+its readings twice — in arrival order (a deque, for O(1) expiry) and
+in value order (a bisect-maintained sorted list) — giving O(log n)
+``record``, O(1) median, and no per-query ``sorted()``.  Series that
+prune to empty are dropped outright (and the per-client dict with
+them), so a long multi-client run never accumulates dead state; the
+surviving per-client dict doubles as the cached candidate set.
 """
 
 from __future__ import annotations
 
+from bisect import insort, bisect_left
 from collections import deque
+from math import fsum
 from typing import Deque, Dict, List, Optional, Tuple
+
+
+class _Window:
+    """One link's sliding window, in arrival order and value order.
+
+    ``entries`` is the arrival-ordered (time, value) deque the pruning
+    walks; ``sorted_values`` is the same multiset in value order.  The
+    incremental median is *exactly* the ``sorted(...)[n // 2]`` of the
+    reference implementation — the equivalence property test in
+    ``tests/test_perf_equivalence.py`` holds it to that, element for
+    element, over randomized insert/expire sequences.
+    """
+
+    __slots__ = ("entries", "sorted_values")
+
+    def __init__(self) -> None:
+        self.entries: Deque[Tuple[int, float]] = deque()
+        self.sorted_values: List[float] = []
+
+    def add(self, time_us: int, value: float) -> None:
+        self.entries.append((time_us, value))
+        insort(self.sorted_values, value)
+
+    def prune(self, horizon_us: int) -> None:
+        """Drop readings strictly older than ``horizon_us``."""
+        entries = self.entries
+        while entries and entries[0][0] < horizon_us:
+            _, value = entries.popleft()
+            values = self.sorted_values
+            del values[bisect_left(values, value)]
+
+    def statistic(self, metric: str) -> float:
+        if metric == "median":
+            values = self.sorted_values
+            return values[len(values) // 2]
+        if metric == "latest":
+            return self.entries[-1][1]
+        # mean: fsum for exact agreement with the naive reference.
+        return fsum(self.sorted_values) / len(self.sorted_values)
 
 
 class ApSelector:
@@ -33,45 +83,68 @@ class ApSelector:
             raise ValueError(f"unknown selection metric {metric!r}")
         self.window_us = window_us
         self.metric = metric
-        #: client -> ap -> deque[(time_us, esnr_db)]
-        self._readings: Dict[str, Dict[str, Deque[Tuple[int, float]]]] = {}
+        #: client -> ap -> window; empty windows are dropped eagerly.
+        self._readings: Dict[str, Dict[str, _Window]] = {}
 
     def record(self, client_id: str, ap_id: str, time_us: int, esnr_db: float):
-        """Ingest one CSI-derived ESNR reading."""
+        """Ingest one CSI-derived ESNR reading — O(log window)."""
         per_client = self._readings.setdefault(client_id, {})
-        series = per_client.setdefault(ap_id, deque())
-        series.append((time_us, esnr_db))
-        self._prune(series, time_us)
+        window = per_client.get(ap_id)
+        if window is None:
+            window = per_client[ap_id] = _Window()
+        window.add(time_us, esnr_db)
+        window.prune(time_us - self.window_us)
 
-    def _prune(self, series: Deque[Tuple[int, float]], now_us: int) -> None:
-        horizon = now_us - self.window_us
-        while series and series[0][0] < horizon:
-            series.popleft()
+    def _window(
+        self, client_id: str, ap_id: str, now_us: int
+    ) -> Optional[_Window]:
+        """The pruned, non-empty window for one link (or None).
+
+        Windows that prune to empty are deleted on the spot, so the
+        per-client dict only ever holds live series.
+        """
+        per_client = self._readings.get(client_id)
+        if per_client is None:
+            return None
+        window = per_client.get(ap_id)
+        if window is None:
+            return None
+        window.prune(now_us - self.window_us)
+        if not window.entries:
+            del per_client[ap_id]
+            if not per_client:
+                del self._readings[client_id]
+            return None
+        return window
 
     def median_esnr(
         self, client_id: str, ap_id: str, now_us: int
     ) -> Optional[float]:
-        """Median ESNR of one link over the window, or None if silent."""
-        series = self._readings.get(client_id, {}).get(ap_id)
-        if not series:
+        """Window statistic of one link (O(1) median), or None if silent."""
+        window = self._window(client_id, ap_id, now_us)
+        if window is None:
             return None
-        self._prune(series, now_us)
-        if not series:
-            return None
-        if self.metric == "latest":
-            return series[-1][1]
-        values = sorted(esnr for _, esnr in series)
-        if self.metric == "mean":
-            return sum(values) / len(values)
-        return values[len(values) // 2]
+        return window.statistic(self.metric)
 
     def candidates(self, client_id: str, now_us: int) -> List[str]:
         """APs that heard the client within the window — the fan-out set."""
-        result = []
-        for ap_id, series in self._readings.get(client_id, {}).items():
-            self._prune(series, now_us)
-            if series:
+        per_client = self._readings.get(client_id)
+        if not per_client:
+            return []
+        horizon = now_us - self.window_us
+        result: List[str] = []
+        dead: List[str] = []
+        for ap_id, window in per_client.items():
+            # O(1) freshness check; pruning only touches expired entries.
+            if window.entries and window.entries[-1][0] >= horizon:
+                window.prune(horizon)
                 result.append(ap_id)
+            else:
+                dead.append(ap_id)
+        for ap_id in dead:
+            del per_client[ap_id]
+        if not per_client:
+            del self._readings[client_id]
         return result
 
     def best_ap(
@@ -87,18 +160,46 @@ class ApSelector:
         ``margin_db``; ties go to the incumbent, so silent flapping on
         equal links never happens.
         """
-        medians = {}
-        for ap_id in self.candidates(client_id, now_us):
-            median = self.median_esnr(client_id, ap_id, now_us)
-            if median is not None:
-                medians[ap_id] = median
-        if not medians:
+        per_client = self._readings.get(client_id)
+        if not per_client:
             return incumbent
-        best_ap = max(medians, key=lambda ap: medians[ap])
-        if incumbent is not None and incumbent in medians and best_ap != incumbent:
-            if medians[best_ap] < medians[incumbent] + margin_db:
-                return incumbent
+        metric = self.metric
+        horizon = now_us - self.window_us
+        best_ap: Optional[str] = None
+        best_value = 0.0
+        incumbent_value: Optional[float] = None
+        dead: List[str] = []
+        for ap_id, window in per_client.items():
+            if not (window.entries and window.entries[-1][0] >= horizon):
+                dead.append(ap_id)
+                continue
+            window.prune(horizon)
+            value = window.statistic(metric)
+            if best_ap is None or value > best_value:
+                best_ap, best_value = ap_id, value
+            if ap_id == incumbent:
+                incumbent_value = value
+        for ap_id in dead:
+            del per_client[ap_id]
+        if not per_client:
+            del self._readings[client_id]
+        if best_ap is None:
+            return incumbent
+        if (
+            incumbent is not None
+            and incumbent_value is not None
+            and best_ap != incumbent
+            and best_value < incumbent_value + margin_db
+        ):
+            return incumbent
         return best_ap
+
+    def series_count(self, client_id: Optional[str] = None) -> int:
+        """Live (client, AP) series held — the memory-bound invariant
+        the long-run tests assert on."""
+        if client_id is not None:
+            return len(self._readings.get(client_id, {}))
+        return sum(len(per_client) for per_client in self._readings.values())
 
     def forget_client(self, client_id: str) -> None:
         self._readings.pop(client_id, None)

@@ -13,7 +13,7 @@ dataclasses; the AP-side behaviour lives in ``access_point``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.core.config import WgttConfig

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List
 
-from repro.sim.engine import SECOND
 
 #: Seeds used when averaging runs.
 FULL_SEEDS = (3, 7, 11, 19, 23)

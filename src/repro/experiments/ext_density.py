@@ -11,11 +11,11 @@ add beacon overhead and switching churn without new capacity.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.experiments.common import mean, seeds_for
+from repro.experiments.runner import run_grid
 from repro.scenarios.testbed import TestbedConfig, build_testbed
-from repro.sim.engine import SECOND
 
 #: Spacings to sweep; the paper's testbed is 7.5 m.
 SPACINGS_M = (5.0, 7.5, 10.0, 15.0)
@@ -47,11 +47,19 @@ def run_spacing(
     }
 
 
-def run(quick: bool = True, speed_mph: float = 15.0) -> Dict:
+def run(
+    quick: bool = True, speed_mph: float = 15.0, jobs: Optional[int] = None
+) -> Dict:
     seeds = seeds_for(quick)
+    grid = [
+        (seed, spacing, speed_mph)
+        for spacing in SPACINGS_M
+        for seed in seeds
+    ]
+    results = iter(run_grid(run_spacing, grid, jobs=jobs))
     rows: List[Dict] = []
     for spacing in SPACINGS_M:
-        cells = [run_spacing(seed, spacing, speed_mph) for seed in seeds]
+        cells = [next(results) for _ in seeds]
         rows.append(
             {
                 "spacing_m": spacing,

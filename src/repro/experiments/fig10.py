@@ -11,7 +11,6 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.channel.link import NOISE_FLOOR_DBM
 from repro.phy.esnr import effective_snr_db
 from repro.scenarios.testbed import TestbedConfig, build_testbed
 
@@ -51,6 +50,9 @@ def run(
                     near_lane_y=y,
                     far_lane_y=original.far_lane_y,
                 )
+                # The track was mutated at a fixed sim time, so the
+                # channel's time-keyed geometry memos are stale.
+                testbed.channel.invalidate_geometry()
                 link = testbed.channel.link(ap_id, client.client_id)
                 mean_snr = link.mean_snr_db(testbed.sim.now, tx_id=ap_id)
                 flat = np.full(56, mean_snr)

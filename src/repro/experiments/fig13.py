@@ -11,14 +11,34 @@ reproduction target.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.apps.bulk import run_bulk_download
 from repro.experiments.common import mean, seeds_for
+from repro.experiments.runner import run_grid
 from repro.scenarios.testbed import TestbedConfig
 
 FULL_SPEEDS = (0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 35.0)
 QUICK_SPEEDS = (5.0, 15.0, 25.0)
+
+
+def _cell(
+    scheme: str,
+    protocol: str,
+    speed_mph: float,
+    seed: int,
+    udp_rate_bps: float = 50e6,
+) -> float:
+    """One independent simulation: a single (scheme, protocol, speed,
+    seed) drive-by.  Module-level and primitive-argument so the grid
+    runner can ship it to worker processes."""
+    config = TestbedConfig(
+        seed=seed, scheme=scheme, client_speeds_mph=[speed_mph]
+    )
+    result = run_bulk_download(
+        config, protocol=protocol, udp_rate_bps=udp_rate_bps
+    )
+    return result.throughput_mbps
 
 
 def run_cell(
@@ -28,28 +48,38 @@ def run_cell(
     seeds: tuple,
     udp_rate_bps: float = 50e6,
 ) -> float:
-    values = []
-    for seed in seeds:
-        config = TestbedConfig(
-            seed=seed, scheme=scheme, client_speeds_mph=[speed_mph]
-        )
-        result = run_bulk_download(
-            config, protocol=protocol, udp_rate_bps=udp_rate_bps
-        )
-        values.append(result.throughput_mbps)
-    return mean(values)
+    """Seed-averaged throughput of one (scheme, protocol, speed) cell."""
+    return mean(
+        _cell(scheme, protocol, speed_mph, seed, udp_rate_bps)
+        for seed in seeds
+    )
 
 
-def run(quick: bool = True, protocols: tuple = ("tcp", "udp")) -> Dict:
+def run(
+    quick: bool = True,
+    protocols: tuple = ("tcp", "udp"),
+    jobs: Optional[int] = None,
+) -> Dict:
     speeds = QUICK_SPEEDS if quick else FULL_SPEEDS
     seeds = seeds_for(quick)
+    # Flatten the full (speed, protocol, scheme, seed) grid so the
+    # runner can keep every worker busy; aggregation below re-walks the
+    # same loop order, so the output never depends on ``jobs``.
+    grid = [
+        (scheme, protocol, speed, seed)
+        for speed in speeds
+        for protocol in protocols
+        for scheme in ("wgtt", "baseline")
+        for seed in seeds
+    ]
+    values = iter(run_grid(_cell, grid, jobs=jobs))
     rows: List[Dict] = []
     for speed in speeds:
         row: Dict = {"speed_mph": speed}
         for protocol in protocols:
             for scheme in ("wgtt", "baseline"):
-                row[f"{protocol}_{scheme}_mbps"] = run_cell(
-                    scheme, protocol, speed, seeds
+                row[f"{protocol}_{scheme}_mbps"] = mean(
+                    next(values) for _ in seeds
                 )
             baseline = row[f"{protocol}_baseline_mbps"]
             row[f"{protocol}_gain"] = (

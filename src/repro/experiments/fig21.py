@@ -9,7 +9,7 @@ noise, longer windows react too slowly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.metrics.capacity import selector_capacity_loss_mbps
 from repro.phy.esnr import effective_snr_db

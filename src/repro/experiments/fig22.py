@@ -6,7 +6,6 @@ controller ride fast channel changes, so throughput rises as T shrinks.
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Dict, List
 
 from repro.core.config import WgttConfig

@@ -8,9 +8,10 @@ ahead thanks to stronger uplink/overhearing diversity.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.experiments.common import mean, seeds_for
+from repro.experiments.runner import run_grid
 from repro.scenarios.presets import (
     dense_segment_bounds,
     mixed_density_config,
@@ -48,14 +49,21 @@ def run_cell(
     }
 
 
-def run(quick: bool = True) -> Dict:
+def run(quick: bool = True, jobs: Optional[int] = None) -> Dict:
     seeds = seeds_for(quick)
     speeds = (5.0, 10.0) if quick else (2.0, 5.0, 10.0)
+    grid = [
+        (seed, scheme, speed)
+        for speed in speeds
+        for scheme in ("wgtt", "baseline")
+        for seed in seeds
+    ]
+    results = iter(run_grid(run_cell, grid, jobs=jobs))
     rows: List[Dict] = []
     for speed in speeds:
         row: Dict = {"speed_mph": speed}
         for scheme in ("wgtt", "baseline"):
-            cells = [run_cell(seed, scheme, speed) for seed in seeds]
+            cells = [next(results) for _ in seeds]
             row[f"{scheme}_dense_mbps"] = mean(c["dense_mbps"] for c in cells)
             row[f"{scheme}_sparse_mbps"] = mean(c["sparse_mbps"] for c in cells)
         rows.append(row)

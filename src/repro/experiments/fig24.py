@@ -8,7 +8,7 @@ sustains a much higher frame rate — the paper measures ~56 fps.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.apps.conferencing import (
     HANGOUTS,
@@ -18,7 +18,6 @@ from repro.apps.conferencing import (
 )
 from repro.metrics.stats import cdf_points, percentile
 from repro.scenarios.testbed import TestbedConfig, build_testbed
-from repro.sim.engine import SECOND
 
 
 def run_call(

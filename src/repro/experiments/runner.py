@@ -1,0 +1,85 @@
+"""Parallel fan-out for the per-figure experiment grids.
+
+Every figure driver is, structurally, the same computation: evaluate an
+independent simulation cell at every point of a small parameter grid
+(scheme × protocol × speed × seed …) and aggregate.  The cells share no
+state — each builds its own :class:`Simulator` and RNG registry from the
+seed — so they parallelize embarrassingly.
+
+:func:`run_grid` is the one fan-out primitive the drivers use.  Its
+contract is *determinism first*:
+
+* the grid is materialized up front and every cell is keyed by its
+  position, not by completion time;
+* results come back in grid order regardless of worker scheduling, so
+  ``jobs=N`` output is byte-identical to ``jobs=1`` for the same seeds
+  (the parity test in ``tests/test_perf_equivalence.py`` asserts this);
+* ``jobs<=1`` short-circuits to a plain in-process loop — no executor,
+  no pickling, nothing to go wrong on constrained CI boxes.
+
+The cell function must be a module-level callable and its grid points
+picklable (the drivers pass primitives and tuples only), because workers
+are separate processes.
+
+The module-level default lets ``repro experiment --jobs N`` configure
+parallelism once without threading a ``jobs`` kwarg through every
+driver's signature; drivers still accept an explicit ``jobs=`` override.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+#: Process-wide default used when a driver is called without ``jobs=``.
+_DEFAULT_JOBS = 1
+
+
+def set_default_jobs(jobs: int) -> None:
+    """Set the process-wide default worker count (the CLI's ``--jobs``)."""
+    global _DEFAULT_JOBS
+    _DEFAULT_JOBS = max(1, int(jobs))
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """An explicit ``jobs`` argument, or the process-wide default."""
+    if jobs is None:
+        return _DEFAULT_JOBS
+    return max(1, int(jobs))
+
+
+def available_jobs() -> int:
+    """Worker count that saturates this machine (for ``--jobs 0``)."""
+    return os.cpu_count() or 1
+
+
+def run_grid(
+    cell: Callable,
+    grid: Iterable[Tuple],
+    jobs: Optional[int] = None,
+) -> List:
+    """Evaluate ``cell(*point)`` for every grid point, in grid order.
+
+    Serial when ``jobs<=1`` (or for a single point); otherwise fans out
+    over a :class:`~concurrent.futures.ProcessPoolExecutor` and collects
+    results in submission order, which makes the output independent of
+    worker scheduling — the determinism contract above.
+
+    The worker count is clamped to the number of points *and* to the
+    machine's core count: simulation cells are CPU-bound, so
+    oversubscription buys nothing and costs context switches and cache
+    thrash (``make -j`` and joblib apply the same clamp).  A clamp to 1
+    short-circuits to the serial loop; the result is identical either
+    way.
+    """
+    points: Sequence[Tuple] = list(grid)
+    jobs = resolve_jobs(jobs)
+    workers = min(jobs, len(points), available_jobs())
+    if workers <= 1 or len(points) <= 1:
+        return [cell(*point) for point in points]
+
+    from concurrent.futures import ProcessPoolExecutor
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(cell, *point) for point in points]
+        # In submission (= grid) order, NOT completion order.
+        return [future.result() for future in futures]

@@ -15,8 +15,8 @@ as deployed in the paper (§4: "channel 11 ... without modification").
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -212,6 +212,29 @@ class WirelessMedium:
 
     def _complete(self, tx: Transmission) -> None:
         noise_mw = 10.0 ** (NOISE_FLOOR_DBM / 10.0)
+        # The overlap geometry of every co-channel transmission against
+        # ``tx`` is receiver-independent, so it is computed ONCE here
+        # rather than inside the per-receiver interference loop — with
+        # a dozen radios and a 20 ms history that scan used to dominate
+        # frame completion.  ``interferers`` keeps the transmission-list
+        # order, so the per-receiver float sums below are bit-identical
+        # to the old per-receiver scan.
+        tx_start, tx_end = tx.start_us, tx.end_us
+        duration = max(tx_end - tx_start, 1)
+        interferers = []  # (sender, start_us, overlap_fraction)
+        active_senders = set()  # anyone on air during [start, end)
+        for other in self._transmissions:
+            overlap = (
+                min(other.end_us, tx_end) - max(other.start_us, tx_start)
+            )
+            if overlap <= 0:
+                continue
+            active_senders.add(other.sender)
+            if other is tx or other.channel != tx.channel:
+                continue
+            interferers.append(
+                (other.sender, other.start_us, overlap / duration)
+            )
         for node_id, device in self._devices.items():
             if node_id == tx.sender:
                 continue
@@ -219,7 +242,8 @@ class WirelessMedium:
                 continue  # tuned elsewhere: hears nothing
             if not device.cares_about(tx.frame):
                 continue
-            if self._was_transmitting(node_id, tx):
+            if node_id in active_senders:
+                # Half-duplex: it was transmitting itself.
                 device.on_air_frame(tx.frame, None, False)
                 continue
             link = self._channel.link(tx.sender, node_id)
@@ -228,7 +252,12 @@ class WirelessMedium:
                 device.on_air_frame(tx.frame, None, False)
                 continue
             snr_db = link.subcarrier_snr_db(tx.start_us, tx_id=tx.sender)
-            interference_mw = self._interference_mw(tx, node_id)
+            interference_mw = 0.0
+            for sender, start_us, weight in interferers:
+                if sender == node_id:
+                    continue
+                power_dbm = self._rx_power_dbm(sender, node_id, start_us)
+                interference_mw += weight * 10.0 ** (power_dbm / 10.0)
             if interference_mw > 0.0:
                 penalty_db = 10.0 * math.log10(1.0 + interference_mw / noise_mw)
                 snr_db = snr_db - penalty_db

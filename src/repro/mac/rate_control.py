@@ -14,7 +14,6 @@ for that client — the same staleness a real AP array exhibits.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

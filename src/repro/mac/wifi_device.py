@@ -24,6 +24,7 @@ in the model.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Set
 
@@ -443,8 +444,12 @@ class WifiDevice(MacEntity):
             self._receive_ack(frame, snr_db)
 
     def _rssi_from_snr(self, snr_db: np.ndarray) -> float:
-        linear = np.mean(10.0 ** (np.asarray(snr_db) / 10.0))
-        return NOISE_FLOOR_DBM + 10.0 * float(np.log10(max(linear, 1e-12)))
+        # add.reduce/n == np.mean without the dispatch layer; math.log10
+        # == np.log10 for scalars.  Bit-identical, measurably cheaper on
+        # the per-CSI path.
+        powers = 10.0 ** (np.asarray(snr_db) / 10.0)
+        linear = float(np.add.reduce(powers)) / powers.shape[0]
+        return NOISE_FLOOR_DBM + 10.0 * math.log10(max(linear, 1e-12))
 
     def _maybe_csi(self, frame: Frame, snr_db: np.ndarray) -> None:
         """APs measure CSI on every decodable client transmission."""

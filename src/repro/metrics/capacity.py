@@ -10,11 +10,11 @@ function of the selection window W, by replaying recorded ESNR traces.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.phy.per import best_rate_bps
 from repro.scenarios.testbed import Testbed
-from repro.sim.engine import MS, SECOND, Timer
+from repro.sim.engine import MS, Timer
 
 
 class CapacityLossMeter:

@@ -8,7 +8,7 @@ multi-client uplink study (Figure 18).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.scenarios.testbed import Testbed
 from repro.sim.engine import SECOND

@@ -7,7 +7,7 @@ and the CLI use these so a run's story is visible without matplotlib.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 _BLOCKS = " ▁▂▃▄▅▆▇█"
 

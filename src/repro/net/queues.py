@@ -12,7 +12,7 @@ so the queue model matters to the headline result.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Iterator, Optional
 
 from repro.net.packet import Packet

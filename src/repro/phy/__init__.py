@@ -1,7 +1,12 @@
 """802.11n PHY models: MCS table, BER curves, Effective SNR, PER."""
 
 from repro.phy.ber import db_to_linear, linear_to_db
-from repro.phy.esnr import effective_snr_db, effective_snr_linear
+from repro.phy.esnr import (
+    effective_snr_db,
+    effective_snr_db_exact,
+    effective_snr_linear,
+    effective_snr_linear_exact,
+)
 from repro.phy.mcs import (
     BASIC_RATE,
     CONTROL_RATE,
@@ -19,7 +24,9 @@ __all__ = [
     "db_to_linear",
     "linear_to_db",
     "effective_snr_db",
+    "effective_snr_db_exact",
     "effective_snr_linear",
+    "effective_snr_linear_exact",
     "BASIC_RATE",
     "CONTROL_RATE",
     "MCS_TABLE",

@@ -13,6 +13,14 @@ The result is "the SNR of the flat channel that would perform the same"
 — the quantity WGTT's controller ranks APs by. We use 64-QAM as the
 reference modulation: it keeps the metric sensitive across the whole
 0–30 dB operating range of the picocell testbed.
+
+Hot path: the public entry points are served by the precomputed
+log-domain lookup tables in :mod:`repro.phy.lut` (dense SNR-dB grid +
+linear interpolation), so the per-frame path never calls
+``scipy.special``.  The closed-form scipy implementations survive as
+``*_exact`` — they are the reference the equivalence property tests
+(``tests/test_perf_equivalence.py``) hold the tables to, within
+0.05 dB across the 0–45 dB operating range.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from repro.phy.ber import (
     db_to_linear,
     linear_to_db,
 )
+from repro.phy.lut import _SNR_GRID_DB, interp as _lut_interp, lut_for, mean_ber_lut
 
 #: Reference modulation for the scalar ESNR summary metric.
 DEFAULT_MODULATION = "64qam"
@@ -35,23 +44,35 @@ ESNR_CAP_DB = 45.0
 
 
 def effective_snr_linear(
-    subcarrier_snr_db: np.ndarray, modulation: str = DEFAULT_MODULATION
+    subcarrier_snr_db: np.ndarray,
+    modulation: str = DEFAULT_MODULATION,
+    _interp=_lut_interp,
+    _reduce=np.add.reduce,
 ) -> float:
-    """Effective SNR as a linear power ratio."""
-    ber = BER_BY_MODULATION[modulation]
-    inverse = SNR_FOR_BER_BY_MODULATION[modulation]
-    snr_linear = db_to_linear(np.asarray(subcarrier_snr_db, dtype=float))
-    mean_ber = float(np.mean(ber(snr_linear)))
-    mean_ber = min(max(mean_ber, BER_FLOOR), BER_CEILING)
-    return float(inverse(mean_ber))
+    """Effective SNR as a linear power ratio (LUT fast path)."""
+    lut = lut_for(modulation)
+    ber = _interp(subcarrier_snr_db, _SNR_GRID_DB, lut.ber)
+    mean = float(_reduce(ber)) / ber.shape[0]
+    return 10.0 ** (lut.snr_db_for_ber(mean) / 10.0)
 
 
 def effective_snr_db(
-    subcarrier_snr_db: np.ndarray, modulation: str = DEFAULT_MODULATION
+    subcarrier_snr_db: np.ndarray,
+    modulation: str = DEFAULT_MODULATION,
+    _interp=_lut_interp,
+    _reduce=np.add.reduce,
 ) -> float:
-    """Effective SNR in dB, capped at :data:`ESNR_CAP_DB`."""
-    esnr_db = float(linear_to_db(effective_snr_linear(subcarrier_snr_db, modulation)))
-    return min(esnr_db, ESNR_CAP_DB)
+    """Effective SNR in dB, capped at :data:`ESNR_CAP_DB` (LUT fast path).
+
+    The ``_interp`` / ``_reduce`` default-argument bindings pin the
+    numpy entry points at definition time — this is the single most
+    frequently called function in the simulator.
+    """
+    lut = lut_for(modulation)
+    ber = _interp(subcarrier_snr_db, _SNR_GRID_DB, lut.ber)
+    mean = float(_reduce(ber)) / ber.shape[0]
+    esnr_db = lut.snr_db_for_ber(mean)
+    return esnr_db if esnr_db < ESNR_CAP_DB else ESNR_CAP_DB
 
 
 def mean_ber(
@@ -61,7 +82,42 @@ def mean_ber(
 
     The convolutional code is credited as an SNR offset before the
     uncoded BER curve — the usual coding-gain approximation.
+    (LUT fast path.)
     """
+    return mean_ber_lut(subcarrier_snr_db, modulation, coding_gain_db)
+
+
+# ----------------------------------------------------------------------
+# closed-form (scipy) reference implementations
+# ----------------------------------------------------------------------
+
+
+def effective_snr_linear_exact(
+    subcarrier_snr_db: np.ndarray, modulation: str = DEFAULT_MODULATION
+) -> float:
+    """Closed-form effective SNR as a linear power ratio (scipy path)."""
+    ber = BER_BY_MODULATION[modulation]
+    inverse = SNR_FOR_BER_BY_MODULATION[modulation]
+    snr_linear = db_to_linear(np.asarray(subcarrier_snr_db, dtype=float))
+    mean = float(np.mean(ber(snr_linear)))
+    mean = min(max(mean, BER_FLOOR), BER_CEILING)
+    return float(inverse(mean))
+
+
+def effective_snr_db_exact(
+    subcarrier_snr_db: np.ndarray, modulation: str = DEFAULT_MODULATION
+) -> float:
+    """Closed-form effective SNR in dB, capped at :data:`ESNR_CAP_DB`."""
+    esnr_db = float(
+        linear_to_db(effective_snr_linear_exact(subcarrier_snr_db, modulation))
+    )
+    return min(esnr_db, ESNR_CAP_DB)
+
+
+def mean_ber_exact(
+    subcarrier_snr_db: np.ndarray, modulation: str, coding_gain_db: float = 0.0
+) -> float:
+    """Closed-form mean coded BER across subcarriers (scipy path)."""
     ber = BER_BY_MODULATION[modulation]
     snr_linear = db_to_linear(
         np.asarray(subcarrier_snr_db, dtype=float) + coding_gain_db

@@ -1,0 +1,218 @@
+"""Lookup tables for the 802.11 BER curves and their inverses.
+
+The closed-form BER expressions in :mod:`repro.phy.ber` go through
+``scipy.special.erfc`` / ``erfcinv``.  That is numerically exact but it
+is also the single hottest function chain in the whole simulator: every
+decodable frame at every receiver evaluates ``effective_snr_linear``
+(56 subcarriers -> mean BER -> inverse) at least once, and every MPDU
+in an A-MPDU evaluates a coded-BER point on top of that.
+
+This module precomputes, once per process and per modulation:
+
+* a dense SNR-dB grid (``SNR_GRID_MIN_DB`` .. ``SNR_GRID_MAX_DB`` in
+  ``SNR_GRID_STEP_DB`` steps) carrying the *linear* uncoded BER.  The
+  per-sample values are floored at :data:`SAMPLE_BER_FLOOR` (far below
+  the inversion floor) so that underflowed subcarriers contribute
+  nothing measurable to a mean — exactly like the closed form, where
+  the :data:`~repro.phy.ber.BER_FLOOR` clip is applied to the *mean*,
+  not per subcarrier.
+* a dense log10(BER) grid carrying the *exact* closed-form inverse
+  (``snr_for_ber_*``) in dB, including its clipping semantics.
+
+Forward lookups are one ``np.interp`` call; the inverse is a
+uniform-grid scalar interpolation in pure Python.  The linear-BER
+interpolation error is quadratic in the grid step and maximal where
+the curve is steepest (near the BER floor, |d ln BER / d dB| ~ 7);
+at the 0.05 dB step that bounds the effective-SNR error near 2e-3 dB,
+more than an order of magnitude inside the 0.05 dB equivalence bound
+enforced by ``tests/test_perf_equivalence.py`` (see
+``docs/performance.md`` for the full error analysis).  The small table
+(~2.4k entries per modulation) also keeps the binary search cache-hot.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from repro.phy.ber import (
+    BER_BY_MODULATION,
+    BER_CEILING,
+    BER_FLOOR,
+    SNR_FOR_BER_BY_MODULATION,
+    linear_to_db,
+)
+
+#: Forward-table SNR grid (dB).  Inputs outside the grid clamp to the
+#: endpoints, which is exact: below the grid every curve has reached its
+#: zero-SNR plateau, above it every curve has underflowed past the
+#: sample floor.
+SNR_GRID_MIN_DB = -60.0
+SNR_GRID_MAX_DB = 60.0
+SNR_GRID_STEP_DB = 0.05
+
+#: Per-sample floor of the forward tables.  Deliberately far below the
+#: inversion floor (1e-15): a clipped subcarrier adds at most 1e-40 to
+#: a 56-sample mean, which is invisible next to the floor itself.
+SAMPLE_BER_FLOOR = 1e-40
+
+#: Inverse-table grid in log10(BER), inversion floor .. log10(ceiling).
+LOG_BER_FLOOR = math.log10(BER_FLOOR)
+LOG_BER_CEILING = math.log10(BER_CEILING)
+LOG_BER_STEP = 0.001
+
+_SNR_GRID_DB = np.arange(
+    SNR_GRID_MIN_DB, SNR_GRID_MAX_DB + SNR_GRID_STEP_DB / 2, SNR_GRID_STEP_DB
+)
+_INV_SNR_STEP = 1.0 / SNR_GRID_STEP_DB
+_N_SNR = len(_SNR_GRID_DB)
+
+_LOG_BER_GRID = np.arange(
+    LOG_BER_FLOOR, LOG_BER_CEILING + LOG_BER_STEP / 2, LOG_BER_STEP
+)
+_INV_LOG_BER_STEP = 1.0 / LOG_BER_STEP
+_N_LOG_BER = len(_LOG_BER_GRID)
+
+# ``np.interp``'s Python wrapper (asarray + iscomplexobj + dispatch)
+# costs about as much as the compiled search itself on 56-point inputs.
+# Bind the compiled core directly — for real-valued float64 input it is
+# the exact routine the wrapper calls, so results are bit-identical —
+# and fall back to the public entry point if numpy's layout changes.
+try:  # numpy >= 2.0
+    from numpy._core.multiarray import interp as _interp
+except ImportError:  # pragma: no cover - older numpy layouts
+    try:
+        from numpy.core.multiarray import interp as _interp
+    except ImportError:
+        _interp = np.interp
+
+interp = _interp  # re-exported for the other repro.phy fast paths
+
+
+class ModulationLut:
+    """Forward (SNR dB -> BER) and inverse (mean BER -> SNR dB) tables
+    for one modulation, both sampled from the closed-form curves."""
+
+    __slots__ = ("modulation", "ber", "inv_snr_db", "max_ber")
+
+    def __init__(self, modulation: str):
+        self.modulation = modulation
+        forward = BER_BY_MODULATION[modulation]
+        inverse = SNR_FOR_BER_BY_MODULATION[modulation]
+
+        snr_linear = np.power(10.0, _SNR_GRID_DB / 10.0)
+        with np.errstate(under="ignore"):
+            ber = np.asarray(forward(snr_linear), dtype=float)
+        # NB: tables stay writeable — numpy's C fast paths (np.interp)
+        # copy read-only buffers on every call, which would cost more
+        # than the interpolation itself.  Treat them as frozen.
+        self.ber = np.maximum(ber, SAMPLE_BER_FLOOR)
+        #: The curve's zero-SNR plateau — the largest mean BER any input
+        #: can produce; inversion clamps here, mirroring the closed form
+        #: (whose input can never exceed it either).
+        self.max_ber = float(self.ber[0])
+
+        with np.errstate(under="ignore", divide="ignore"):
+            snr_for = inverse(np.power(10.0, _LOG_BER_GRID))
+        self.inv_snr_db = np.asarray(linear_to_db(snr_for), dtype=float)
+
+    # ------------------------------------------------------------------
+    # forward: SNR -> BER
+    # ------------------------------------------------------------------
+
+    def ber_of_db(self, snr_db) -> np.ndarray:
+        """Uncoded linear BER for an array of SNRs in dB."""
+        return np.interp(snr_db, _SNR_GRID_DB, self.ber)
+
+    def ber_of_db_scalar(self, snr_db: float) -> float:
+        """Uncoded BER at one SNR point (dB) — uniform-grid fast path."""
+        pos = (snr_db - SNR_GRID_MIN_DB) * _INV_SNR_STEP
+        if pos <= 0.0:
+            return self.max_ber
+        if pos >= _N_SNR - 1:
+            return SAMPLE_BER_FLOOR
+        i = int(pos)
+        frac = pos - i
+        tbl = self.ber
+        lo = tbl[i]
+        return float(lo + (tbl[i + 1] - lo) * frac)
+
+    # ------------------------------------------------------------------
+    # inverse: mean BER -> effective SNR
+    # ------------------------------------------------------------------
+
+    def snr_db_for_ber(self, ber: float) -> float:
+        """Effective SNR (dB) whose flat-channel BER equals ``ber``.
+
+        Matches the clipping closed form: the input is clamped into
+        [:data:`~repro.phy.ber.BER_FLOOR`, curve maximum] before the
+        table lookup.
+        """
+        if ber <= BER_FLOOR:
+            log_ber = LOG_BER_FLOOR
+        else:
+            if ber > self.max_ber:
+                ber = self.max_ber
+            log_ber = math.log10(ber)
+        pos = (log_ber - LOG_BER_FLOOR) * _INV_LOG_BER_STEP
+        if pos <= 0.0:
+            return float(self.inv_snr_db[0])
+        if pos >= _N_LOG_BER - 1:
+            return float(self.inv_snr_db[-1])
+        i = int(pos)
+        frac = pos - i
+        tbl = self.inv_snr_db
+        lo = tbl[i]
+        return float(lo + (tbl[i + 1] - lo) * frac)
+
+
+_LUTS: Dict[str, ModulationLut] = {}
+
+
+def lut_for(modulation: str) -> ModulationLut:
+    """The (lazily built, process-wide) table pair for ``modulation``."""
+    lut = _LUTS.get(modulation)
+    if lut is None:
+        lut = ModulationLut(modulation)
+        _LUTS[modulation] = lut
+    return lut
+
+
+# ----------------------------------------------------------------------
+# drop-in fast paths used by repro.phy.esnr / repro.phy.per
+# ----------------------------------------------------------------------
+
+def effective_snr_db_lut(subcarrier_snr_db, modulation: str) -> float:
+    """LUT-based Halperin effective SNR in dB (uncapped).
+
+    Same three steps as the closed form — per-subcarrier BER, mean,
+    inverse — with both non-linear maps served from the tables.
+    """
+    lut = lut_for(modulation)
+    ber = _interp(subcarrier_snr_db, _SNR_GRID_DB, lut.ber)
+    mean = float(np.add.reduce(ber)) / ber.shape[0]
+    return lut.snr_db_for_ber(mean)
+
+
+def effective_snr_linear_lut(subcarrier_snr_db, modulation: str) -> float:
+    """LUT-based effective SNR as a linear power ratio."""
+    return 10.0 ** (effective_snr_db_lut(subcarrier_snr_db, modulation) / 10.0)
+
+
+def mean_ber_lut(
+    subcarrier_snr_db, modulation: str, coding_gain_db: float = 0.0
+) -> float:
+    """LUT-based mean BER across subcarriers (with coding-gain offset)."""
+    lut = lut_for(modulation)
+    snr_db = np.asarray(subcarrier_snr_db, dtype=float)
+    if coding_gain_db:
+        snr_db = snr_db + coding_gain_db
+    ber = _interp(snr_db, _SNR_GRID_DB, lut.ber)
+    return float(np.add.reduce(ber)) / ber.shape[0]
+
+
+def ber_at_snr_db_lut(modulation: str, snr_db: float) -> float:
+    """Uncoded BER at a single (scalar) SNR point in dB."""
+    return lut_for(modulation).ber_of_db_scalar(snr_db)

@@ -10,20 +10,56 @@ frequency-selective fades get very different delivery probabilities.
 
 A decode also requires the PLCP preamble/header, sent at the most
 robust rate, to be received; below a small SNR floor nothing decodes.
+
+Hot path: all non-linear maps are served from the log-domain lookup
+tables in :mod:`repro.phy.lut`, and the per-aggregate quantities
+(coded BER, preamble success) carry one-slot *identity* memos: the MAC
+evaluates the same SNR snapshot once per subframe of an A-MPDU, so
+keying on the array object itself (a live reference is held, making
+``id`` reuse impossible) collapses those repeats to a single
+computation.  SNR arrays are treated as immutable throughout the
+simulator — derived quantities always allocate fresh arrays.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.phy.lut import ber_at_snr_db_lut, interp as _interp, lut_for
+from repro.phy.lut import _SNR_GRID_DB as _GRID  # shared forward grid
 from repro.phy.mcs import CODING_GAIN_DB, Mcs
 
 #: Below this wideband SNR (dB) the preamble itself is undetectable.
 PREAMBLE_SNR_FLOOR_DB = -1.0
 #: Preamble length in bits at the 6 Mbit/s base rate (for its own BER check).
 _PREAMBLE_BITS = 192
+
+#: One-slot identity memos (array-object keyed; see module docstring).
+_coded_ber_memo: Optional[Tuple[np.ndarray, Mcs, float]] = None
+_preamble_memo: Optional[Tuple[np.ndarray, float]] = None
+_esnr_db_memo: Optional[Tuple[np.ndarray, str, float]] = None
+
+
+def _effective_snr_db_memo(subcarrier_snr_db: np.ndarray, modulation: str) -> float:
+    """Uncapped LUT effective SNR with a one-slot identity memo."""
+    global _esnr_db_memo
+    memo = _esnr_db_memo
+    if (
+        memo is not None
+        and memo[0] is subcarrier_snr_db
+        and memo[1] == modulation
+    ):
+        return memo[2]
+    lut = lut_for(modulation)
+    ber = _interp(subcarrier_snr_db, _GRID, lut.ber)
+    mean = float(np.add.reduce(ber)) / ber.shape[0]
+    esnr_db = lut.snr_db_for_ber(mean)
+    if isinstance(subcarrier_snr_db, np.ndarray):
+        _esnr_db_memo = (subcarrier_snr_db, modulation, esnr_db)
+    return esnr_db
 
 
 def coded_ber(subcarrier_snr_db: np.ndarray, mcs: Mcs) -> float:
@@ -35,30 +71,38 @@ def coded_ber(subcarrier_snr_db: np.ndarray, mcs: Mcs) -> float:
     convolutional code and interleaver operate across the whole band,
     so coding is credited after the collapse, not per subcarrier.
     """
-    from repro.phy.ber import BER_BY_MODULATION, linear_to_db
-    from repro.phy.esnr import effective_snr_linear
-
+    global _coded_ber_memo
+    memo = _coded_ber_memo
+    if memo is not None and memo[0] is subcarrier_snr_db and memo[1] is mcs:
+        return memo[2]
     gain_db = CODING_GAIN_DB[mcs.coding_rate]
-    esnr_linear = effective_snr_linear(subcarrier_snr_db, mcs.modulation)
-    esnr_db = float(linear_to_db(esnr_linear))
-    coded_point = 10.0 ** ((esnr_db + gain_db) / 10.0)
-    return float(BER_BY_MODULATION[mcs.modulation](coded_point))
+    esnr_db = _effective_snr_db_memo(subcarrier_snr_db, mcs.modulation)
+    value = ber_at_snr_db_lut(mcs.modulation, esnr_db + gain_db)
+    if isinstance(subcarrier_snr_db, np.ndarray):
+        _coded_ber_memo = (subcarrier_snr_db, mcs, value)
+    return value
 
 
 def preamble_success_probability(subcarrier_snr_db: np.ndarray) -> float:
     """Probability the PLCP preamble + header decode (BPSK 1/2)."""
-    wideband_db = 10.0 * math.log10(
-        max(float(np.mean(10.0 ** (np.asarray(subcarrier_snr_db) / 10.0))), 1e-12)
-    )
+    global _preamble_memo
+    memo = _preamble_memo
+    if memo is not None and memo[0] is subcarrier_snr_db:
+        return memo[1]
+    arr = np.asarray(subcarrier_snr_db, dtype=float)
+    linear = np.power(10.0, arr * 0.1)
+    # add.reduce/n is what np.mean computes, minus the dispatch layer.
+    wideband_linear = float(np.add.reduce(linear)) / linear.shape[0]
+    wideband_db = 10.0 * math.log10(max(wideband_linear, 1e-12))
     if wideband_db < PREAMBLE_SNR_FLOOR_DB:
-        return 0.0
-    from repro.phy.ber import ber_bpsk, linear_to_db
-    from repro.phy.esnr import effective_snr_linear
-
-    esnr_db = float(linear_to_db(effective_snr_linear(subcarrier_snr_db, "bpsk")))
-    coded_point = 10.0 ** ((esnr_db + CODING_GAIN_DB[1 / 2]) / 10.0)
-    ber = float(ber_bpsk(coded_point))
-    return (1.0 - ber) ** _PREAMBLE_BITS
+        value = 0.0
+    else:
+        esnr_db = _effective_snr_db_memo(subcarrier_snr_db, "bpsk")
+        ber = ber_at_snr_db_lut("bpsk", esnr_db + CODING_GAIN_DB[1 / 2])
+        value = (1.0 - ber) ** _PREAMBLE_BITS
+    if isinstance(subcarrier_snr_db, np.ndarray):
+        _preamble_memo = (subcarrier_snr_db, value)
+    return value
 
 
 def mpdu_success_probability(
@@ -106,7 +150,11 @@ def best_rate_bps(subcarrier_snr_db: np.ndarray, length_bytes: int = 1500) -> fl
     """max over the MCS table of :func:`expected_throughput_bps`."""
     from repro.phy.mcs import MCS_TABLE
 
-    return max(
-        expected_throughput_bps(subcarrier_snr_db, mcs, length_bytes)
+    preamble = preamble_success_probability(subcarrier_snr_db)
+    if preamble == 0.0:
+        return 0.0
+    return preamble * max(
+        mcs.data_rate_bps
+        * mpdu_payload_success_probability(subcarrier_snr_db, mcs, length_bytes)
         for mcs in MCS_TABLE
     )

@@ -11,7 +11,7 @@ attachment and run helpers — every experiment driver goes through it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.enhanced_80211r import (
     Baseline80211rAp,

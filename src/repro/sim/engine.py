@@ -29,18 +29,35 @@ class EventHandle:
     when it reaches the head of the queue. This keeps cancellation O(1),
     which matters because MAC-layer timers are cancelled far more often
     than they fire.
+
+    The handle carries a back-reference to its simulator so the engine
+    can keep an exact count of cancelled-but-queued entries — that count
+    drives O(1) :meth:`Simulator.pending_events` and the periodic heap
+    compaction that keeps long timer-heavy runs from growing the queue
+    without bound.
     """
 
-    __slots__ = ("time_us", "callback", "cancelled")
+    __slots__ = ("time_us", "callback", "cancelled", "_sim", "_queued")
 
-    def __init__(self, time_us: int, callback: Callable[[], None]):
+    def __init__(
+        self,
+        time_us: int,
+        callback: Callable[[], None],
+        sim: Optional["Simulator"] = None,
+    ):
         self.time_us = time_us
         self.callback = callback
         self.cancelled = False
+        self._sim = sim
+        #: True while a heap entry for this handle exists.
+        self._queued = sim is not None
 
     def cancel(self) -> None:
         """Prevent the event from firing; safe to call more than once."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._queued and self._sim is not None:
+                self._sim._note_cancelled()
 
     @property
     def active(self) -> bool:
@@ -63,12 +80,20 @@ class Simulator:
         start mid-stream to exercise wrap-around logic elsewhere.
     """
 
+    #: Queues shorter than this are never compacted — rebuilding a tiny
+    #: heap costs more than skipping its few dead entries.
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self, start_time_us: int = 0):
         self._now = int(start_time_us)
         self._queue: List[Tuple[int, int, EventHandle]] = []
         self._sequence = itertools.count()
         self._running = False
         self.events_processed = 0
+        #: Cancelled entries still physically present in the heap.
+        self._cancelled_in_queue = 0
+        #: Heap rebuilds performed (observability for the perf bench).
+        self.compactions = 0
 
     @property
     def now(self) -> int:
@@ -91,9 +116,43 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at {time_us} us, now is {self._now} us"
             )
-        handle = EventHandle(int(time_us), callback)
+        handle = EventHandle(int(time_us), callback, self)
         heapq.heappush(self._queue, (int(time_us), next(self._sequence), handle))
         return handle
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook called by :meth:`EventHandle.cancel`.
+
+        When more than half of a non-trivial queue is dead weight, the
+        heap is rebuilt without the cancelled entries.  Each compaction
+        is O(live) and at least halves the queue, so the amortized cost
+        per cancellation is O(1) — and a run that cancels millions of
+        timers (every MAC ACK timeout) keeps its heap at the size of
+        the *live* event set.
+        """
+        self._cancelled_in_queue += 1
+        queue = self._queue
+        if (
+            len(queue) >= self.COMPACT_MIN_SIZE
+            and self._cancelled_in_queue * 2 > len(queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap with only live entries (ordering preserved:
+        the (time, sequence) keys are reused, so FIFO among equal
+        timestamps survives compaction)."""
+        live = []
+        for entry in self._queue:
+            handle = entry[2]
+            if handle.cancelled:
+                handle._queued = False
+            else:
+                live.append(entry)
+        heapq.heapify(live)
+        self._queue = live
+        self._cancelled_in_queue = 0
+        self.compactions += 1
 
     def call_soon(self, callback: Callable[[], None]) -> EventHandle:
         """Run ``callback`` at the current time, after pending same-time events."""
@@ -105,6 +164,8 @@ class Simulator:
             time_us, _seq, handle = self._queue[0]
             if handle.cancelled:
                 heapq.heappop(self._queue)
+                handle._queued = False
+                self._cancelled_in_queue -= 1
                 continue
             return time_us
         return None
@@ -113,7 +174,9 @@ class Simulator:
         """Execute the single next event. Returns False when none remain."""
         while self._queue:
             time_us, _seq, handle = heapq.heappop(self._queue)
+            handle._queued = False
             if handle.cancelled:
+                self._cancelled_in_queue -= 1
                 continue
             self._now = time_us
             self.events_processed += 1
@@ -147,8 +210,13 @@ class Simulator:
         self._running = False
 
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for _t, _s, h in self._queue if not h.cancelled)
+        """Number of live (non-cancelled) events still queued — O(1),
+        served from the exact cancelled-entry counter."""
+        return len(self._queue) - self._cancelled_in_queue
+
+    def queue_size(self) -> int:
+        """Physical heap length, dead entries included (observability)."""
+        return len(self._queue)
 
 
 class Timer:

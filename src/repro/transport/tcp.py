@@ -15,7 +15,7 @@ clock ticking.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, List, Optional, Set, Tuple
 
 from repro.net.packet import Packet
 from repro.sim.engine import SECOND, Simulator, Timer

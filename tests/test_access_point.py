@@ -1,7 +1,6 @@
 """Focused unit tests for the WGTT access point's protocol behaviour,
 using a minimal hand-built testbed (one AP, one parked client)."""
 
-import pytest
 
 from repro.core.switching import StartMsg, StopMsg
 from repro.scenarios.testbed import TestbedConfig, build_testbed

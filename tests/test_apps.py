@@ -1,6 +1,5 @@
 """Tests for the application workloads: video, conferencing, web, bulk."""
 
-import pytest
 
 from repro.apps.conferencing import (
     HANGOUTS,
@@ -8,11 +7,10 @@ from repro.apps.conferencing import (
     ConferencingReceiver,
     ConferencingSender,
 )
-from repro.apps.video import PREBUFFER_US, VideoPlayer
+from repro.apps.video import VideoPlayer
 from repro.apps.web import PageLoad
-from repro.net.packet import Packet
 from repro.sim import MS, SECOND, Simulator
-from repro.transport.tcp import MSS, TcpReceiver
+from repro.transport.tcp import MSS
 
 
 class FakeReceiver:

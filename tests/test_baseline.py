@@ -1,6 +1,5 @@
 """Tests for the Enhanced/stock 802.11r baseline components."""
 
-import pytest
 
 from repro.baselines import RoamingConfig, stock_80211r_config
 from repro.scenarios.testbed import TestbedConfig, build_testbed

@@ -9,7 +9,6 @@ from repro.channel import (
     NOISE_FLOOR_DBM,
     NUM_SUBCARRIERS,
     ChannelMap,
-    Link,
     LogDistancePathLoss,
     OmniAntenna,
     ParabolicAntenna,
@@ -22,7 +21,7 @@ from repro.channel import (
 from repro.channel.csi import CsiReport
 from repro.mobility import Position, Road, VehicleTrack
 from repro.sim import RngRegistry, Simulator
-from repro.sim.engine import MS, SECOND
+from repro.sim.engine import MS
 
 
 # ----------------------------------------------------------------------

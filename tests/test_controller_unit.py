@@ -1,7 +1,6 @@
 """Unit-level tests of the controller's decision gating, with injected
 selector readings (no radio in the loop)."""
 
-import pytest
 
 from repro.channel.csi import CsiReport
 from repro.core.assoc_sync import StaInfo

@@ -1,7 +1,6 @@
 """Smoke tests for the experiment-driver layer (cheap drivers only —
 the expensive sweeps are exercised by the benchmark suite)."""
 
-import pytest
 
 from repro.experiments import fig02, fig10, format_table
 from repro.experiments.common import mean, seeds_for

@@ -4,7 +4,6 @@ backhaul, and related robustness paths."""
 import pytest
 
 from repro.scenarios.testbed import TestbedConfig, build_testbed
-from repro.sim.engine import SECOND
 
 
 def lossy_testbed(loss_rate: float, seed: int = 3):

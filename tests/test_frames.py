@@ -1,6 +1,5 @@
 """Tests for 802.11 frame airtime arithmetic and constants."""
 
-import pytest
 
 from repro.mac.frames import (
     BA_WINDOW,

@@ -1,8 +1,6 @@
 """Tests for co-channel interference, capture, and collisions on the
 shared medium."""
 
-import numpy as np
-import pytest
 
 from repro.channel import ChannelMap, OmniAntenna, ParabolicAntenna, RadioPort
 from repro.mac import DataAmpdu, WifiDevice, WirelessMedium
@@ -48,7 +46,6 @@ def test_overlapping_equal_power_transmissions_collide():
     got = []
     client.on_packet = lambda p, src: got.append(p.seq)
     # Bypass DCF: force both frames onto the air at the same instant.
-    from repro.mac.frames import Mpdu
     from repro.phy.mcs import mcs_by_index
 
     for i, ap in enumerate((ap0, ap1)):
@@ -73,7 +70,6 @@ def test_capture_strong_frame_survives_weak_overlap():
     )
     got = []
     client.on_packet = lambda p, src: got.append((p.seq, src))
-    from repro.mac.frames import Mpdu
     from repro.phy.mcs import mcs_by_index
 
     for i, ap in enumerate((ap0, ap1)):

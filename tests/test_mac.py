@@ -1,14 +1,10 @@
 """Tests for the MAC layer: medium, DCF, rate control, aggregation,
 and the WifiDevice end-to-end over a controlled channel."""
 
-import numpy as np
 import pytest
 
 from repro.channel import ChannelMap, OmniAntenna, ParabolicAntenna, RadioPort
 from repro.mac import (
-    BeaconFrame,
-    BlockAckFrame,
-    DataAmpdu,
     Dcf,
     MinstrelRateController,
     WifiDevice,
@@ -16,10 +12,10 @@ from repro.mac import (
     build_ampdu_mpdus,
 )
 from repro.mac.blockack import BlockAckScoreboard
-from repro.mac.frames import DIFS_US, MAX_AMPDU_SUBFRAMES, SIFS_US
+from repro.mac.frames import DIFS_US, MAX_AMPDU_SUBFRAMES
 from repro.mobility import Position, Road, VehicleTrack
 from repro.net import DropTailQueue, Packet
-from repro.phy.mcs import MCS_TABLE, mcs_by_index
+from repro.phy.mcs import mcs_by_index
 from repro.sim import RngRegistry, SECOND, Simulator
 
 

@@ -2,7 +2,7 @@
 
 from repro.metrics.recorder import RateUsageLog, UplinkLossMeter
 from repro.scenarios.testbed import TestbedConfig, build_testbed
-from repro.sim import SECOND, Simulator
+from repro.sim import Simulator
 
 
 class FakeCounter:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import WgttConfig
-from repro.core.switching import AckMsg, StartMsg, StopMsg, SwitchCoordinator
+from repro.core.switching import AckMsg, StartMsg, SwitchCoordinator
 from repro.net.backhaul import EthernetBackhaul
 from repro.sim import Simulator
 

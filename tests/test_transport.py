@@ -7,7 +7,7 @@ cases are deterministic.
 import pytest
 
 from repro.net.packet import Packet
-from repro.sim import MS, SECOND, Simulator
+from repro.sim import SECOND, Simulator
 from repro.transport import (
     Host,
     MIN_RTO_US,

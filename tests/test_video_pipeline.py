@@ -1,7 +1,6 @@
 """End-to-end application-pipeline tests over the real testbed: video,
 conferencing, and web on a parked (good-link) client."""
 
-import pytest
 
 from repro.apps.conferencing import SKYPE, ConferencingReceiver, ConferencingSender
 from repro.apps.video import VideoPlayer

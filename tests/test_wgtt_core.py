@@ -1,11 +1,9 @@
 """Integration tests for the WGTT controller + AP protocol suite,
 running on the full testbed."""
 
-import pytest
 
-from repro.core.assoc_sync import StaInfo
 from repro.scenarios.testbed import TestbedConfig, build_testbed
-from repro.sim.engine import MS, SECOND
+from repro.sim.engine import MS
 
 
 def make_wgtt(seed=3, speed=0.0, start_x=9.5, **config_kw):
