@@ -38,6 +38,8 @@ EXPERIMENTS = {
     "fig24": "conferencing fps CDF",
     "tab05": "web page load time",
     "ablations": "WGTT design-choice ablations",
+    "ext_density": "throughput vs AP deployment density",
+    "ext_faults": "chaos sweep: crash rate × partition duration",
 }
 
 

@@ -7,9 +7,11 @@ from repro.core.config import WgttConfig
 from repro.core.controller import WgttController
 from repro.core.cyclic_queue import CyclicQueue, IndexAllocator
 from repro.core.dedup import PacketDeduplicator
+from repro.core.liveness import ApLivenessTracker
 from repro.core.selection import ApSelector
 from repro.core.switching import (
     AckMsg,
+    FailoverMsg,
     StartMsg,
     StopMsg,
     SwitchCoordinator,
@@ -27,8 +29,10 @@ __all__ = [
     "CyclicQueue",
     "IndexAllocator",
     "PacketDeduplicator",
+    "ApLivenessTracker",
     "ApSelector",
     "AckMsg",
+    "FailoverMsg",
     "StartMsg",
     "StopMsg",
     "SwitchCoordinator",

@@ -32,15 +32,18 @@ from repro.core.ba_forwarding import (
 )
 from repro.core.config import WgttConfig
 from repro.core.cyclic_queue import CyclicQueue
-from repro.core.switching import AckMsg, StartMsg, StopMsg
+from repro.core.switching import AckMsg, FailoverMsg, StartMsg, StopMsg
 from repro.mac.frames import BlockAckFrame
 from repro.mac.medium import WirelessMedium
 from repro.mac.wifi_device import WifiDevice
 from repro.net.backhaul import EthernetBackhaul
 from repro.net.packet import Packet
 from repro.net.tunnel import tunnel_wire_size
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, Timer
 from repro.sim.rng import RngRegistry
+
+#: Wire size of one heartbeat (ap id + sequence + uptime).
+HEARTBEAT_WIRE_BYTES = 32
 
 
 class WgttAccessPoint:
@@ -89,9 +92,19 @@ class WgttAccessPoint:
         self._ba_seen = BaSeenCache()
         self._refilling = False
 
+        #: False while crashed (fault injection): no radio, no backhaul,
+        #: volatile state gone.
+        self.alive = True
+        #: Fault-injection switch: measured CSI is silently discarded
+        #: (models a wedged CSI extraction path on otherwise-healthy
+        #: hardware — the controller must survive the staleness).
+        self.csi_suppressed = False
+        self._heartbeat_seq = 0
+
         self.stats = {
             "stops_handled": 0,
             "starts_handled": 0,
+            "failovers_handled": 0,
             "packets_dropped_at_stop": 0,
             "cyclic_dropped_on_advance": 0,
             "ba_forwarded": 0,
@@ -99,8 +112,15 @@ class WgttAccessPoint:
             "ba_forward_duplicate": 0,
             "uplink_forwarded": 0,
             "csi_reports": 0,
+            "csi_suppressed": 0,
+            "heartbeats_sent": 0,
+            "crashes": 0,
+            "restarts": 0,
         }
         backhaul.register(ap_id, self._on_backhaul)
+        self._heartbeat_timer = Timer(self._sim, self._heartbeat_tick)
+        if self._config.heartbeat_interval_us > 0:
+            self._heartbeat_timer.start(self._config.heartbeat_interval_us)
 
     # ------------------------------------------------------------------
     # helpers
@@ -124,10 +144,73 @@ class WgttAccessPoint:
         self._refill(client_id, self.device.queue_room(client_id))
 
     # ------------------------------------------------------------------
+    # liveness: heartbeats, crash, restart
+    # ------------------------------------------------------------------
+
+    def _heartbeat_tick(self) -> None:
+        if self.alive:
+            self._heartbeat_seq += 1
+            self._backhaul.send_control(
+                self.ap_id,
+                self._controller_id,
+                "heartbeat",
+                self._heartbeat_seq,
+                size_bytes=HEARTBEAT_WIRE_BYTES,
+            )
+            self.stats["heartbeats_sent"] += 1
+        self._heartbeat_timer.start(self._config.heartbeat_interval_us)
+
+    def crash(self) -> None:
+        """Fault injection: the AP process/host dies.
+
+        The radio goes dark mid-whatever (no TX, no RX, no beacons),
+        the backhaul endpoint falls silent, and all volatile state —
+        cyclic queues, serving duty, replicated associations, BA seen
+        cache — is lost, exactly as a reboot would lose it.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.stats["crashes"] += 1
+        self._heartbeat_timer.stop()
+        self.device.power_off()
+        for queue in self._cyclic.values():
+            queue.clear()
+        self._cyclic.clear()
+        self._serving.clear()
+        self._serving_view.clear()
+        self.directory = AssociationDirectory()
+        self._ba_seen = BaSeenCache()
+        self._backhaul.set_node_down(self.ap_id, True)
+
+    def restart(self) -> None:
+        """Fault injection: the AP comes back up cold.
+
+        It re-announces itself to the controller ("ap-hello"), which
+        replays the association directory and serving map (§4.3 sta
+        sync), resumes beaconing, and starts heartbeating again.  It
+        serves nobody until the controller switches a client to it.
+        """
+        if self.alive:
+            return
+        self.alive = True
+        self.stats["restarts"] += 1
+        self._backhaul.set_node_down(self.ap_id, False)
+        self.device.power_on()
+        self.device.start_beaconing()
+        self._backhaul.send_control(
+            self.ap_id, self._controller_id, "ap-hello", self.ap_id
+        )
+        if self._config.heartbeat_interval_us > 0:
+            self._heartbeat_timer.start(self._config.heartbeat_interval_us)
+
+    # ------------------------------------------------------------------
     # backhaul dispatch
     # ------------------------------------------------------------------
 
     def _on_backhaul(self, src: str, kind: str, payload: object) -> None:
+        if not self.alive:
+            return  # backhaul already drops these; defense in depth
         if kind == "data":
             client_id, index, packet = payload
             self._downlink_data(client_id, index, packet)
@@ -135,6 +218,8 @@ class WgttAccessPoint:
             self._handle_stop(payload)
         elif kind == "start":
             self._handle_start(payload)
+        elif kind == "failover":
+            self._handle_failover(payload)
         elif kind == "ba-fwd":
             self._handle_forwarded_ba(payload)
         elif kind == "sta-sync":
@@ -258,6 +343,38 @@ class WgttAccessPoint:
 
         self._sim.schedule(self._config.start_processing_us, activate)
 
+    def _handle_failover(self, message: FailoverMsg) -> None:
+        """failover(c): the serving AP died — adopt the client *now*.
+
+        No start(c, k) can come from the dead AP, so k is recovered
+        locally: the controller's fan-out has been pre-placing this
+        client's downlink stream in our cyclic queue all along (paper
+        §3.1.2), so resuming from the first index of our own backlog
+        restarts the flow with zero backhaul re-sends.  An empty
+        backlog resumes at the write edge — the next fanned-out packet.
+        """
+        self.stats["failovers_handled"] += 1
+        client_id = message.client
+        queue = self.cyclic_queue(client_id)
+
+        def activate():
+            backlog = queue.backlog_packets()
+            k = backlog[0][0] if backlog else queue.write_edge
+            dropped = queue.advance_to(k)
+            self.stats["cyclic_dropped_on_advance"] += dropped
+            ack = AckMsg(
+                client=client_id, ap=self.ap_id, switch_id=message.switch_id
+            )
+            self._backhaul.send_control(
+                self.ap_id, self._controller_id, "ack", ack
+            )
+            self._serving.add(client_id)
+            self.device.reset_tx_state(client_id, k)
+            self.device.set_session_mode(client_id, "active")
+            self._refill(client_id, self.device.queue_room(client_id))
+
+        self._sim.schedule(self._config.start_processing_us, activate)
+
     # ------------------------------------------------------------------
     # uplink: CSI, data forwarding, BA forwarding
     # ------------------------------------------------------------------
@@ -265,6 +382,9 @@ class WgttAccessPoint:
     def _csi_measured(
         self, client_id: str, snr_db: np.ndarray, rssi_dbm: float
     ) -> None:
+        if self.csi_suppressed:
+            self.stats["csi_suppressed"] += 1
+            return
         report = CsiReport(
             time_us=self._sim.now,
             ap_id=self.ap_id,

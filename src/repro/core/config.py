@@ -36,6 +36,36 @@ class WgttConfig:
     #: Give up a switch after this many stop retransmissions.
     switch_retry_limit: int = 5
 
+    #: Retransmission backoff cap: the n-th retry waits
+    #: ``min(switch_timeout_us << n, switch_backoff_max_us)``, so a
+    #: wedged handshake backs off instead of hammering a sick backhaul,
+    #: but never waits longer than this bound.
+    switch_backoff_max_us: int = 120 * MS
+
+    # -- AP liveness / failover (robustness extension) ----------------
+
+    #: AP → controller heartbeat period over the backhaul.  0 disables
+    #: heartbeats (and with them dead-AP detection).
+    heartbeat_interval_us: int = 20 * MS
+
+    #: Consecutive missed heartbeats before an AP is declared DEAD.
+    #: Detection lag is bounded by (miss_limit + 1) heartbeat periods.
+    heartbeat_miss_limit: int = 3
+
+    #: Recovery budget: a client whose serving AP dies mid-drive should
+    #: be transmitting again from a live AP within this long of the
+    #: crash.  With a 20 ms heartbeat and miss limit 3, detection takes
+    #: at most ~80 ms, leaving ~20 ms for the failover handshake.
+    failover_deadline_us: int = 100 * MS
+
+    #: Emergency-failover CSI lookback.  The 10 ms selection window has
+    #: usually expired by the time a crash is *detected* (~80 ms), so
+    #: the failover target is chosen from the controller's last-heard
+    #: ESNR cache instead, considering any live AP that heard the
+    #: client within this horizon.  Never used on the regular
+    #: selection path.
+    failover_lookback_us: int = 500 * MS
+
     #: Cyclic queue depth: m = 12 bits of index space (§3.1.2).
     index_bits: int = 12
 

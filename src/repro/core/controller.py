@@ -18,12 +18,21 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.channel.csi import CsiReport
-from repro.core.assoc_sync import AssociationDirectory, StaInfo
+from repro.core.assoc_sync import (
+    STA_SYNC_WIRE_BYTES,
+    AssociationDirectory,
+    StaInfo,
+)
 from repro.core.config import WgttConfig
 from repro.core.cyclic_queue import IndexAllocator
 from repro.core.dedup import PacketDeduplicator
+from repro.core.liveness import ApLivenessTracker
 from repro.core.selection import ApSelector
-from repro.core.switching import SwitchCoordinator, SwitchRecord
+from repro.core.switching import (
+    OUTCOME_FAILED_OVER,
+    SwitchCoordinator,
+    SwitchRecord,
+)
 from repro.net.backhaul import EthernetBackhaul
 from repro.net.packet import Packet
 from repro.net.tunnel import tunnel_wire_size
@@ -39,6 +48,11 @@ class ClientState:
         self.serving_ap = serving_ap
         self.last_switch_us = now_us
         self.last_selection_check_us = -(10**9)
+        #: Set while the client has no live AP to fail over to (its
+        #: serving AP is dead and no live AP has heard it recently).
+        self.degraded_since: Optional[int] = None
+        #: True while a deferred failover retry is scheduled.
+        self.failover_retry_pending = False
 
 
 class WgttController:
@@ -64,11 +78,29 @@ class WgttController:
             sim, backhaul, self._config, controller_id
         )
         self.coordinator.on_complete = self._switch_completed
+        self.coordinator.on_abort = self._switch_aborted
+        self.liveness = ApLivenessTracker(
+            sim,
+            self._config.heartbeat_interval_us,
+            self._config.heartbeat_miss_limit,
+        )
+        self.liveness.on_down = self._ap_down
+        self.liveness.on_up = self._ap_up
         self.dedup = PacketDeduplicator()
         self.directory = AssociationDirectory()
         self._index_alloc = IndexAllocator(self._config.cyclic_queue_size)
         self._clients: Dict[str, ClientState] = {}
         self._ap_ids: Set[str] = set()
+        #: APs the liveness tracker has declared DEAD: excluded from
+        #: selection, fan-out, and switch targets until they hello back.
+        self._dead_aps: Set[str] = set()
+        #: client -> ap -> (time_us, esnr_db): the most recent CSI heard
+        #: per link, never pruned (bounded by #clients × #APs).  Only
+        #: the emergency-failover path reads this — by the time a crash
+        #: is *detected* the 10 ms selection window has expired, but
+        #: the neighbours that heard the client ~100 ms ago are still
+        #: by far the best guess for where it is.
+        self._last_heard: Dict[str, Dict[str, Tuple[int, float]]] = {}
 
         #: Delivered (de-duplicated) uplink datagrams go here.
         self.on_uplink: Callable[[Packet], None] = lambda packet: None
@@ -87,6 +119,13 @@ class WgttController:
             "fanout_messages": 0,
             "csi_reports": 0,
             "switches_initiated": 0,
+            "heartbeats": 0,
+            "aps_declared_dead": 0,
+            "aps_recovered": 0,
+            "ap_resyncs": 0,
+            "failovers_initiated": 0,
+            "failover_no_candidate": 0,
+            "csi_dropped_dead_ap": 0,
         }
         backhaul.register(controller_id, self._on_backhaul)
 
@@ -99,6 +138,12 @@ class WgttController:
 
     def ap_ids(self) -> Set[str]:
         return set(self._ap_ids)
+
+    def live_aps(self) -> Set[str]:
+        return self._ap_ids - self._dead_aps
+
+    def dead_aps(self) -> Set[str]:
+        return set(self._dead_aps)
 
     def client_state(self, client_id: str) -> Optional[ClientState]:
         return self._clients.get(client_id)
@@ -160,6 +205,10 @@ class WgttController:
         else:
             fanout = {state.serving_ap}
         fanout &= self._ap_ids
+        if self._dead_aps:
+            # Dead APs receive nothing: their tunnel endpoint is gone,
+            # and the bytes would only burn backhaul capacity.
+            fanout -= self._dead_aps
         wire = tunnel_wire_size(packet, downlink=True)
         for ap_id in sorted(fanout):
             self.stats["fanout_messages"] += 1
@@ -184,11 +233,25 @@ class WgttController:
             self.coordinator.on_ack(payload)
         elif kind == "sta-sync":
             self.register_association(payload)
+        elif kind == "heartbeat":
+            self.stats["heartbeats"] += 1
+            self.liveness.beat(src)
+        elif kind == "ap-hello":
+            self._ap_rejoined(src)
 
     def _handle_csi(self, report: CsiReport) -> None:
+        if report.ap_id in self._dead_aps:
+            # In-flight report from an AP declared dead moments ago:
+            # admitting it would resurrect the AP in the selector.
+            self.stats["csi_dropped_dead_ap"] += 1
+            return
         self.stats["csi_reports"] += 1
         self.selector.record(
             report.client_id, report.ap_id, report.time_us, report.esnr_db
+        )
+        self._last_heard.setdefault(report.client_id, {})[report.ap_id] = (
+            report.time_us,
+            report.esnr_db,
         )
 
     def _handle_uplink(self, packet: Packet) -> None:
@@ -206,6 +269,11 @@ class WgttController:
         now = self._sim.now
         if self.coordinator.busy(client_id):
             return
+        if state.serving_ap in self._dead_aps:
+            # The emergency-failover path owns this client until it
+            # lands on a live AP; regular hysteresis-gated selection
+            # stays out of the way.
+            return
         if now - state.last_switch_us < self._config.time_hysteresis_us:
             return
         best = self.selector.best_ap(
@@ -216,6 +284,8 @@ class WgttController:
         )
         if best is None or best == state.serving_ap or best not in self._ap_ids:
             return
+        if best in self._dead_aps:
+            return  # never switch toward a dead AP
         state.last_switch_us = now
         self.stats["switches_initiated"] += 1
         self.coordinator.initiate(client_id, state.serving_ap, best)
@@ -224,7 +294,162 @@ class WgttController:
         state = self._clients.get(record.client)
         if state is not None:
             state.serving_ap = record.to_ap
+            state.degraded_since = None
         self._publish_serving(record.client, record.to_ap)
+
+    def _switch_aborted(self, record: SwitchRecord) -> None:
+        """A handshake died (retry cap, dead target, explicit abort).
+
+        If the client's serving AP is itself dead, the abort must not
+        strand it — schedule another failover attempt (the selector may
+        name a different live target by then)."""
+        state = self._clients.get(record.client)
+        if state is None:
+            return
+        if state.serving_ap in self._dead_aps:
+            self._schedule_failover_retry(record.client)
+
+    # ------------------------------------------------------------------
+    # AP liveness and emergency failover
+    # ------------------------------------------------------------------
+
+    def _ap_down(self, ap_id: str) -> None:
+        """Liveness declared an AP DEAD: quarantine it everywhere and
+        evacuate every client it was serving."""
+        if ap_id in self._dead_aps:
+            return
+        self._dead_aps.add(ap_id)
+        self.stats["aps_declared_dead"] += 1
+        # Its CSI history must stop competing in selection immediately
+        # (and its windows are freed — the unbounded-growth fix).
+        self.selector.forget_ap(ap_id)
+        # Any handshake involving the dead AP can never finish.
+        self.coordinator.abort_for_ap(ap_id)
+        for client_id in sorted(self._clients):
+            if self._clients[client_id].serving_ap == ap_id:
+                self._emergency_failover(client_id, ap_id)
+
+    def _ap_up(self, ap_id: str) -> None:
+        if ap_id in self._dead_aps:
+            self._dead_aps.discard(ap_id)
+            self.stats["aps_recovered"] += 1
+
+    def _ap_rejoined(self, ap_id: str) -> None:
+        """ap-hello: a (re)started AP announces itself.
+
+        The controller replays the association directory (the paper's
+        hostapd sta-sync, §4.3) and the current serving map so the AP
+        can overhear, measure CSI, and accept fan-out for every
+        admitted client again."""
+        if ap_id not in self._ap_ids:
+            self.add_ap(ap_id)
+        self.liveness.mark_alive(ap_id)
+        self.stats["ap_resyncs"] += 1
+        for client_id in sorted(self.directory.clients()):
+            self._backhaul.send(
+                self.controller_id,
+                ap_id,
+                "sta-sync",
+                self.directory.get(client_id),
+                size_bytes=STA_SYNC_WIRE_BYTES,
+            )
+            state = self._clients.get(client_id)
+            if state is not None:
+                self._backhaul.send_control(
+                    self.controller_id,
+                    ap_id,
+                    "serving-update",
+                    (client_id, state.serving_ap),
+                )
+
+    def _emergency_failover(self, client_id: str, dead_ap: str) -> None:
+        """The serving AP died: restart the client at the next-best
+        live AP *now*, bypassing time hysteresis.
+
+        The paper's own fan-out makes this recovery nearly free — the
+        target AP's cyclic queue already holds the client's downlink
+        backlog, so a single one-hop handshake restarts the flow."""
+        state = self._clients.get(client_id)
+        if state is None or state.serving_ap != dead_ap:
+            return
+        if self.coordinator.busy(client_id):
+            # A regular switch is mid-flight to/from the dead AP (or
+            # elsewhere); tear it down — the slot is needed now.
+            self.coordinator.abort(
+                client_id, reason=f"serving AP {dead_ap} died"
+            )
+        now = self._sim.now
+        target = self.selector.best_ap(client_id, now, incumbent=None)
+        if target is not None and (
+            target in self._dead_aps
+            or target not in self._ap_ids
+            or target == dead_ap
+        ):
+            live = [
+                ap
+                for ap in self.selector.candidates(client_id, now)
+                if ap in self._ap_ids and ap not in self._dead_aps
+            ]
+            target = live[0] if live else None
+        if target is None:
+            target = self._last_heard_live_ap(client_id, now)
+        if target is None:
+            # Graceful degradation: no live AP has heard the client
+            # recently.  Mark it degraded and keep retrying — the
+            # client's keepalives will reach somebody as it moves.
+            self.stats["failover_no_candidate"] += 1
+            if state.degraded_since is None:
+                state.degraded_since = now
+            self._schedule_failover_retry(client_id)
+            return
+        self.stats["failovers_initiated"] += 1
+        state.last_switch_us = now
+        self.coordinator.initiate_failover(client_id, dead_ap, target)
+
+    def _last_heard_live_ap(
+        self, client_id: str, now_us: int
+    ) -> Optional[str]:
+        """Best live AP from the last-heard ESNR cache (emergency only).
+
+        The regular selection window (10 ms) has usually expired by the
+        time a crash is *detected* (~80 ms of heartbeat lag), so the
+        emergency path widens the horizon to ``failover_lookback_us``
+        and picks the live AP that most recently heard the client well.
+        Strongest ESNR wins; ties break on ap_id for determinism.
+        """
+        heard = self._last_heard.get(client_id)
+        if not heard:
+            return None
+        horizon = now_us - self._config.failover_lookback_us
+        best: Optional[Tuple[float, str]] = None
+        for ap_id in sorted(heard):
+            if ap_id in self._dead_aps or ap_id not in self._ap_ids:
+                continue
+            time_us, esnr_db = heard[ap_id]
+            if time_us < horizon:
+                continue
+            if best is None or esnr_db > best[0]:
+                best = (esnr_db, ap_id)
+        return best[1] if best else None
+
+    def _schedule_failover_retry(self, client_id: str) -> None:
+        state = self._clients.get(client_id)
+        if state is None or state.failover_retry_pending:
+            return
+        state.failover_retry_pending = True
+
+        def retry():
+            current = self._clients.get(client_id)
+            if current is None:
+                return
+            current.failover_retry_pending = False
+            if (
+                current.serving_ap in self._dead_aps
+                and not self.coordinator.busy(client_id)
+            ):
+                self._emergency_failover(client_id, current.serving_ap)
+
+        self._sim.schedule(self._config.selection_period_us, retry)
 
     # ------------------------------------------------------------------
     # statistics
@@ -237,3 +462,21 @@ class WgttController:
         if duration_us <= 0:
             return 0.0
         return len(self.coordinator.history) / (duration_us / 1e6)
+
+    def failover_records(self) -> List[SwitchRecord]:
+        """Completed emergency failovers, in completion order."""
+        return [
+            r
+            for r in self.coordinator.history
+            if r.outcome == OUTCOME_FAILED_OVER
+        ]
+
+    def failover_latencies_ms(self) -> List[float]:
+        """Handshake time of each completed failover (controller-side:
+        initiation → ack; detection lag is accounted separately by the
+        chaos audit, which joins against the injected crash times)."""
+        return [
+            r.duration_us / 1000.0
+            for r in self.failover_records()
+            if r.duration_us is not None
+        ]

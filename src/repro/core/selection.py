@@ -203,3 +203,22 @@ class ApSelector:
 
     def forget_client(self, client_id: str) -> None:
         self._readings.pop(client_id, None)
+
+    def forget_ap(self, ap_id: str) -> None:
+        """Drop every client's window for one AP and free its memory.
+
+        The liveness tracker calls this when an AP is declared DEAD: a
+        dead AP must stop competing in :meth:`best_ap` and stop padding
+        the fan-out set immediately — its last CSI reports may be only
+        microseconds old and would otherwise keep it attractive for a
+        full window.  It also closes the unbounded-growth hole where an
+        AP that never reports again (decommissioned, dead, re-homed)
+        would pin its windows forever on clients that also went silent.
+        """
+        empty_clients = []
+        for client_id, per_client in self._readings.items():
+            per_client.pop(ap_id, None)
+            if not per_client:
+                empty_clients.append(client_id)
+        for client_id in empty_clients:
+            del self._readings[client_id]

@@ -1,4 +1,4 @@
-"""The three-step switching protocol (paper §3.1.2).
+"""The three-step switching protocol (paper §3.1.2), hardened.
 
     controller --stop(c)-->  AP1            (cease sending to c)
     AP1        --start(c,k)-> AP2           (resume from index k)
@@ -9,6 +9,20 @@ stop(c) if no ack arrives within 30 ms, and never issues a second
 switch for the same client while one is outstanding (paper footnote 2).
 This module holds the controller-side coordinator and the message
 dataclasses; the AP-side behaviour lives in ``access_point``.
+
+Beyond the paper, the coordinator is hardened for a production array:
+
+* retransmissions are **capped** and back off exponentially up to a
+  bound (``switch_backoff_max_us``) instead of hammering a sick
+  backhaul on a fixed 30 ms clock;
+* a pending switch can be **aborted** (e.g. its target AP just died
+  mid-handshake) — the slot is freed immediately so selection or
+  failover can act, and ``busy()`` clears;
+* a one-hop **failover** handshake (controller → new AP → ack) covers
+  the case where the outgoing AP is dead and can never send start(c, k)
+  — the new AP resumes from its own fanned-out cyclic-queue backlog;
+* every :class:`SwitchRecord` carries an ``outcome``
+  (``completed | aborted | failed-over``) for the chaos metrics.
 """
 
 from __future__ import annotations
@@ -50,9 +64,26 @@ class AckMsg:
     switch_id: int
 
 
+@dataclass(frozen=True)
+class FailoverMsg:
+    """controller → incoming AP: the serving AP ``dead_ap`` died; adopt
+    ``client`` immediately, resuming from your own cyclic-queue backlog
+    (the controller cannot learn k — the AP that knew it is gone)."""
+
+    client: str
+    dead_ap: str
+    switch_id: int
+
+
+#: ``SwitchRecord.outcome`` values.
+OUTCOME_COMPLETED = "completed"
+OUTCOME_ABORTED = "aborted"
+OUTCOME_FAILED_OVER = "failed-over"
+
+
 @dataclass
 class SwitchRecord:
-    """One completed (or abandoned) switch, for Table 1 statistics."""
+    """One finished switch attempt, for Table 1 / chaos statistics."""
 
     client: str
     from_ap: str
@@ -60,6 +91,13 @@ class SwitchRecord:
     started_us: int
     completed_us: Optional[int] = None
     retries: int = 0
+    #: "completed" | "aborted" | "failed-over" once finished; None while
+    #: the handshake is still in flight.
+    outcome: Optional[str] = None
+    #: True for the emergency (dead serving AP) handshake.
+    failover: bool = False
+    #: Human-readable reason for an abort (dead target, retry cap...).
+    abort_reason: Optional[str] = None
 
     @property
     def duration_us(self) -> Optional[int]:
@@ -93,14 +131,37 @@ class SwitchCoordinator:
         self._next_switch_id = 1
         self.history: List[SwitchRecord] = []
         self.abandoned = 0
+        self.aborted = 0
         #: Called with the completed SwitchRecord.
         self.on_complete: Callable[[SwitchRecord], None] = lambda record: None
+        #: Called with every aborted SwitchRecord (retry cap exhausted,
+        #: dead target, explicit abort).
+        self.on_abort: Callable[[SwitchRecord], None] = lambda record: None
 
     def busy(self, client_id: str) -> bool:
         return client_id in self._pending
 
+    def pending_record(self, client_id: str) -> Optional[SwitchRecord]:
+        pending = self._pending.get(client_id)
+        return pending.record if pending else None
+
     def initiate(self, client_id: str, from_ap: str, to_ap: str) -> None:
         """Kick off stop/start/ack for one client."""
+        pending = self._new_pending(client_id, from_ap, to_ap, failover=False)
+        self._send_stop(pending)
+
+    def initiate_failover(
+        self, client_id: str, dead_ap: str, to_ap: str
+    ) -> None:
+        """Emergency path: ``dead_ap`` cannot execute a stop, so the
+        controller messages the new AP directly and the fan-out backlog
+        already sitting in its cyclic queue restarts the flow."""
+        pending = self._new_pending(client_id, dead_ap, to_ap, failover=True)
+        self._send_failover(pending)
+
+    def _new_pending(
+        self, client_id: str, from_ap: str, to_ap: str, failover: bool
+    ) -> _Pending:
         if client_id in self._pending:
             raise RuntimeError(f"switch already pending for {client_id!r}")
         if from_ap == to_ap:
@@ -112,11 +173,27 @@ class SwitchCoordinator:
             from_ap=from_ap,
             to_ap=to_ap,
             started_us=self._sim.now,
+            failover=failover,
         )
         pending = _Pending(record=record, switch_id=switch_id)
         pending.timer = Timer(self._sim, lambda: self._timeout(client_id))
         self._pending[client_id] = pending
-        self._send_stop(pending)
+        return pending
+
+    def _retry_delay_us(self, retries: int) -> int:
+        """Bounded exponential backoff: 30, 30, 60, 120 ms ... capped.
+
+        The first two rounds keep the paper's fixed 30 ms clock — a
+        single lost control packet is the common case on a healthy
+        backhaul and must recover at full speed.  Only *persistent*
+        failure (a sick or partitioned backhaul, where retransmissions
+        cannot help and only add load) backs off, doubling per round up
+        to ``switch_backoff_max_us``.
+        """
+        base = self._config.switch_timeout_us
+        cap = max(base, self._config.switch_backoff_max_us)
+        shifted = base << min(max(0, retries - 1), 16)
+        return min(shifted, cap)
 
     def _send_stop(self, pending: _Pending) -> None:
         message = StopMsg(
@@ -127,7 +204,18 @@ class SwitchCoordinator:
         self._backhaul.send_control(
             self._controller_id, pending.record.from_ap, "stop", message
         )
-        pending.timer.start(self._config.switch_timeout_us)
+        pending.timer.start(self._retry_delay_us(pending.record.retries))
+
+    def _send_failover(self, pending: _Pending) -> None:
+        message = FailoverMsg(
+            client=pending.record.client,
+            dead_ap=pending.record.from_ap,
+            switch_id=pending.switch_id,
+        )
+        self._backhaul.send_control(
+            self._controller_id, pending.record.to_ap, "failover", message
+        )
+        pending.timer.start(self._retry_delay_us(pending.record.retries))
 
     def on_ack(self, message: AckMsg) -> None:
         pending = self._pending.get(message.client)
@@ -135,22 +223,66 @@ class SwitchCoordinator:
             return  # stale ack from a retransmitted round
         pending.timer.stop()
         del self._pending[message.client]
-        pending.record.completed_us = self._sim.now
-        self.history.append(pending.record)
-        self.on_complete(pending.record)
+        record = pending.record
+        record.completed_us = self._sim.now
+        record.outcome = (
+            OUTCOME_FAILED_OVER if record.failover else OUTCOME_COMPLETED
+        )
+        self.history.append(record)
+        self.on_complete(record)
+
+    def abort(
+        self, client_id: str, reason: str = "aborted"
+    ) -> Optional[SwitchRecord]:
+        """Tear down a pending switch and free the slot immediately.
+
+        Used when the handshake can never finish — the target AP died
+        mid-protocol, or failover needs the slot *now*.  Returns the
+        aborted record (also appended to ``history``), or None if no
+        switch was pending.
+        """
+        pending = self._pending.pop(client_id, None)
+        if pending is None:
+            return None
+        pending.timer.stop()
+        record = pending.record
+        record.outcome = OUTCOME_ABORTED
+        record.abort_reason = reason
+        self.aborted += 1
+        self.history.append(record)
+        self.on_abort(record)
+        return record
+
+    def abort_for_ap(self, ap_id: str) -> List[SwitchRecord]:
+        """Abort every pending switch that involves a (now dead) AP."""
+        aborted: List[SwitchRecord] = []
+        for client_id in list(self._pending):
+            record = self._pending[client_id].record
+            if ap_id in (record.from_ap, record.to_ap):
+                aborted.append(
+                    self.abort(client_id, reason=f"{ap_id} died mid-handshake")
+                )
+        return aborted
 
     def _timeout(self, client_id: str) -> None:
         pending = self._pending.get(client_id)
         if pending is None:
             return
-        pending.record.retries += 1
-        if pending.record.retries > self._config.switch_retry_limit:
+        record = pending.record
+        record.retries += 1
+        if record.retries > self._config.switch_retry_limit:
             # Give up: release the slot so selection can try again.
             del self._pending[client_id]
             self.abandoned += 1
-            self.history.append(pending.record)
+            record.outcome = OUTCOME_ABORTED
+            record.abort_reason = "retry limit exhausted"
+            self.history.append(record)
+            self.on_abort(record)
             return
-        self._send_stop(pending)
+        if record.failover:
+            self._send_failover(pending)
+        else:
+            self._send_stop(pending)
 
     # -- statistics ------------------------------------------------------
 

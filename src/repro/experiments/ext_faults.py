@@ -1,0 +1,234 @@
+"""Extension experiment: chaos sweep — crash rate × partition duration.
+
+The paper's deployment ran eight healthy APs for a week; a transit
+network runs thousands of cells for years, and cells *will* die.  This
+sweep turns the fault-injection subsystem (:mod:`repro.faults`) loose
+on the standard drive-by: AP crashes arrive as a Poisson process,
+backhaul partitions cut AP subsets off the controller, and each cell
+reports
+
+* **failover latency** — crash instant → client re-served by a live AP
+  (heartbeat detection lag + emergency handshake), from the
+  :class:`~repro.metrics.recorder.FailoverAudit` join;
+* **throughput retained** — chaos-run TCP throughput over the
+  fault-free twin run of the same seed;
+* **deadline violations** — recoveries slower than
+  ``failover_deadline_us`` (default 100 ms) plus clients never
+  recovered.
+
+``main()`` also exposes a ``--smoke`` mode for CI: one mid-drive crash
+of the serving AP, asserting recovery within the deadline and TCP
+forward progress afterwards (nonzero exit on violation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.experiments.common import mean, seeds_for
+from repro.experiments.runner import run_grid
+from repro.faults.plan import ApCrash, FaultPlan
+from repro.metrics.recorder import FailoverAudit
+from repro.scenarios.testbed import TestbedConfig, build_testbed
+from repro.sim.engine import SECOND
+from repro.sim.rng import RngRegistry
+
+#: AP crash arrival rates to sweep (per second of sim time).
+CRASH_RATES_PER_S = (0.1, 0.3)
+#: Backhaul partition durations to sweep (seconds; 0 = no partitions).
+PARTITION_DURATIONS_S = (0.0, 0.2)
+#: Partition arrival rate whenever partitions are enabled.
+PARTITION_RATE_PER_S = 0.2
+#: How long a crashed AP stays down before restarting.
+CRASH_DOWN_US = 500_000
+
+
+def _plan_for(
+    seed: int,
+    ap_ids: List[str],
+    duration_us: int,
+    crash_rate_per_s: float,
+    partition_duration_s: float,
+) -> FaultPlan:
+    """Draw the cell's fault schedule from its own named streams.
+
+    The plan registry is spawned off the run seed, so plan draws can
+    never perturb the testbed's channel/MAC streams — and the same
+    (seed, rates) always yields the same plan.
+    """
+    plan_rng = RngRegistry(seed).spawn("faultplan")
+    return FaultPlan.random(
+        plan_rng,
+        ap_ids,
+        duration_us,
+        crash_rate_per_s=crash_rate_per_s,
+        crash_down_us=CRASH_DOWN_US,
+        partition_rate_per_s=(
+            PARTITION_RATE_PER_S if partition_duration_s > 0 else 0.0
+        ),
+        partition_duration_us=int(partition_duration_s * SECOND),
+    )
+
+
+def run_cell(
+    seed: int,
+    crash_rate_per_s: float,
+    partition_duration_s: float,
+    duration_s: float = 8.0,
+) -> Dict:
+    """One chaos run plus its fault-free twin, same seed."""
+    duration_us = int(duration_s * SECOND)
+    ap_ids = [f"ap{i}" for i in range(TestbedConfig().num_aps)]
+    plan = _plan_for(
+        seed, ap_ids, duration_us, crash_rate_per_s, partition_duration_s
+    )
+
+    def one_run(fault_plan: Optional[FaultPlan]) -> Dict:
+        config = TestbedConfig(seed=seed, scheme="wgtt", fault_plan=fault_plan)
+        testbed = build_testbed(config)
+        sender, _receiver = testbed.add_downlink_tcp_flow(0)
+        sender.start()
+        testbed.run_seconds(duration_s)
+        out = {
+            "throughput_mbps": sender.throughput_mbps(testbed.sim.now),
+            "switches": len(testbed.controller.coordinator.history),
+        }
+        if fault_plan is not None:
+            audit = FailoverAudit(testbed)
+            out["audit"] = audit.summary()
+            out["failover_ms"] = audit.failover_latencies_ms()
+        return out
+
+    baseline = one_run(None)
+    chaos = one_run(plan)
+    retained = (
+        chaos["throughput_mbps"] / baseline["throughput_mbps"]
+        if baseline["throughput_mbps"] > 0
+        else 0.0
+    )
+    return {
+        "crash_rate_per_s": crash_rate_per_s,
+        "partition_s": partition_duration_s,
+        "planned_faults": len(plan),
+        "crashes": chaos["audit"]["crashes"],
+        "throughput_mbps": chaos["throughput_mbps"],
+        "throughput_retained": retained,
+        "failover_ms": chaos["failover_ms"],
+        "deadline_violations": chaos["audit"]["deadline_violations"],
+    }
+
+
+def run(quick: bool = True, jobs: Optional[int] = None) -> Dict:
+    seeds = seeds_for(quick)
+    duration_s = 8.0 if quick else 12.0
+    grid = [
+        (seed, crash_rate, partition_s, duration_s)
+        for crash_rate in CRASH_RATES_PER_S
+        for partition_s in PARTITION_DURATIONS_S
+        for seed in seeds
+    ]
+    results = iter(run_grid(run_cell, grid, jobs=jobs))
+    rows: List[Dict] = []
+    for crash_rate in CRASH_RATES_PER_S:
+        for partition_s in PARTITION_DURATIONS_S:
+            cells = [next(results) for _ in seeds]
+            latencies = [v for c in cells for v in c["failover_ms"]]
+            rows.append(
+                {
+                    "crash_rate_per_s": crash_rate,
+                    "partition_s": partition_s,
+                    "crashes": sum(c["crashes"] for c in cells),
+                    "throughput_mbps": mean(
+                        c["throughput_mbps"] for c in cells
+                    ),
+                    "throughput_retained": mean(
+                        c["throughput_retained"] for c in cells
+                    ),
+                    "mean_failover_ms": mean(latencies) if latencies else None,
+                    "max_failover_ms": (
+                        max(latencies) if latencies else None
+                    ),
+                    "deadline_violations": sum(
+                        c["deadline_violations"] for c in cells
+                    ),
+                }
+            )
+    return {"rows": rows}
+
+
+# ----------------------------------------------------------------------
+# CI smoke: one deterministic mid-drive crash, hard pass/fail
+# ----------------------------------------------------------------------
+
+
+def run_smoke(seed: int = 3) -> Dict:
+    """Crash the serving AP mid-drive; fail unless the client recovers
+    within the configured deadline *and* TCP makes forward progress."""
+    config = TestbedConfig(seed=seed, scheme="wgtt")
+    testbed = build_testbed(config)
+    sender, receiver = testbed.add_downlink_tcp_flow(0)
+    sender.start()
+
+    # Let the drive settle, then kill whichever AP is serving.
+    testbed.run_seconds(2.0)
+    victim = testbed.serving_ap_of(0)
+    crash_us = testbed.sim.now
+    plan = FaultPlan(
+        [ApCrash(at_us=crash_us, ap_id=victim, down_us=2 * SECOND)]
+    )
+    testbed.install_fault_plan(plan)
+    deadline_us = config.wgtt.failover_deadline_us
+
+    # Segments delivered by the crash instant, then run out the drive.
+    segments_at_crash = receiver.rcv_nxt
+    testbed.run_seconds(3.0)
+
+    audit = FailoverAudit(testbed)
+    summary = audit.summary()
+    recoveries = audit.crash_recoveries()
+    progressed = receiver.rcv_nxt > segments_at_crash
+    ok = (
+        summary["crashes"] == 1
+        and summary["recovered"] >= 1
+        and summary["unrecovered"] == 0
+        and summary["deadline_violations"] == 0
+        and progressed
+    )
+    return {
+        "ok": ok,
+        "victim": victim,
+        "crash_us": crash_us,
+        "deadline_ms": deadline_us / 1_000.0,
+        "failover_ms": audit.failover_latencies_ms(),
+        "recovered_to": [
+            new_ap for r in recoveries for (_, _, new_ap) in r.recoveries
+        ],
+        "tcp_forward_progress": progressed,
+        "summary": summary,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ext_faults", description="chaos sweep / failover smoke"
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="one mid-drive crash; exit 1 on violation")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--full", action="store_true")
+    parser.add_argument("--jobs", type=int, default=1)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        result = run_smoke(seed=args.seed)
+        print(json.dumps(result, indent=2, default=str))
+        return 0 if result["ok"] else 1
+    result = run(quick=not args.full, jobs=args.jobs)
+    print(json.dumps(result, indent=2, default=str))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Deterministic fault injection for the WGTT testbed.
+
+``repro.faults`` turns the simulator into a chaos rig: a
+:class:`FaultPlan` is a declarative, seed-reproducible schedule of
+faults (AP crash/restart, backhaul partition/heal, per-link delay
+jitter with reordering, CSI-report suppression), and a
+:class:`FaultInjector` arms a plan against a built testbed, executing
+each fault on the discrete-event engine and logging an exact trace.
+
+Determinism contract: every random draw a plan makes comes from named
+``RngRegistry`` streams (``faults/...``), so identical seeds yield
+identical fault traces — and the injector never draws at execution
+time, so two runs of the same (seed, plan) pair produce byte-identical
+event logs and byte-identical protocol behaviour.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    ApCrash,
+    CsiBlackout,
+    FaultPlan,
+    LinkJitter,
+    Partition,
+)
+
+__all__ = [
+    "ApCrash",
+    "CsiBlackout",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkJitter",
+    "Partition",
+]

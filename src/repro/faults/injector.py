@@ -1,0 +1,149 @@
+"""Arms a :class:`FaultPlan` against a built testbed.
+
+The injector is deliberately dumb: it walks the (pre-sorted, fully
+materialised) plan and schedules one sim callback per fault action —
+crash, restart, partition, heal, jitter-on, jitter-off, blackout-on,
+blackout-off.  It draws **no randomness at execution time**; the only
+generators it touches are the per-link jitter streams, whose labels
+are derived from the plan's own (deterministic) event fields.  Two
+runs of the same ``(seed, plan)`` therefore produce byte-identical
+fault traces and byte-identical protocol behaviour.
+
+The injector duck-types its target: anything with ``sim``,
+``backhaul``, ``rng`` and a ``wgtt_aps`` (or ``aps``) mapping works,
+so unit rigs don't need a full :class:`~repro.scenarios.testbed.Testbed`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.plan import ApCrash, CsiBlackout, FaultPlan, LinkJitter, Partition
+
+
+class FaultInjector:
+    """Schedules a plan's faults on the discrete-event engine."""
+
+    def __init__(self, testbed, plan: FaultPlan):
+        self.plan = plan
+        self.sim = testbed.sim
+        self.backhaul = testbed.backhaul
+        self.rng = testbed.rng
+        aps = getattr(testbed, "wgtt_aps", None)
+        if aps is None:
+            aps = getattr(testbed, "aps", {})
+        self.aps: Dict[str, object] = aps
+        #: (time_us, action, subject) — the executed fault trace.
+        #: Actions: crash / restart / partition / heal / jitter-on /
+        #: jitter-off / csi-off / csi-on.
+        self.events: List[Tuple[int, str, str]] = []
+        self._armed = False
+
+    # ------------------------------------------------------------------
+    # arming
+    # ------------------------------------------------------------------
+
+    def arm(self) -> None:
+        """Schedule every fault in the plan.  Idempotent-hostile: call once."""
+        if self._armed:
+            raise RuntimeError("FaultInjector.arm() called twice")
+        self._armed = True
+        now = self.sim.now
+        for event in self.plan:
+            delay = max(0, event.at_us - now)
+            if isinstance(event, ApCrash):
+                self.sim.schedule(delay, lambda e=event: self._crash(e))
+            elif isinstance(event, Partition):
+                self.sim.schedule(delay, lambda e=event: self._partition(e))
+            elif isinstance(event, LinkJitter):
+                self.sim.schedule(delay, lambda e=event: self._jitter_on(e))
+            elif isinstance(event, CsiBlackout):
+                self.sim.schedule(delay, lambda e=event: self._csi_off(e))
+            else:  # pragma: no cover - plan types are closed
+                raise TypeError(f"unknown fault event {event!r}")
+
+    # ------------------------------------------------------------------
+    # executors
+    # ------------------------------------------------------------------
+
+    def _log(self, action: str, subject: str) -> None:
+        self.events.append((self.sim.now, action, subject))
+
+    def _ap(self, ap_id: str):
+        try:
+            return self.aps[ap_id]
+        except KeyError:
+            raise KeyError(
+                f"fault plan names unknown AP {ap_id!r}; "
+                f"known: {sorted(self.aps)}"
+            ) from None
+
+    def _crash(self, event: ApCrash) -> None:
+        ap = self._ap(event.ap_id)
+        if not getattr(ap, "alive", True):
+            return  # already down (overlapping crash events)
+        self._log("crash", event.ap_id)
+        ap.crash()
+        if event.down_us is not None:
+            self.sim.schedule(event.down_us, lambda: self._restart(event.ap_id))
+
+    def _restart(self, ap_id: str) -> None:
+        ap = self._ap(ap_id)
+        if getattr(ap, "alive", True):
+            return  # already restarted
+        self._log("restart", ap_id)
+        ap.restart()
+
+    def _partition(self, event: Partition) -> None:
+        self._log(
+            "partition",
+            ",".join(sorted(event.side_a)) + "|" + ",".join(sorted(event.side_b)),
+        )
+        pid = self.backhaul.partition(event.side_a, event.side_b)
+        self.sim.schedule(event.duration_us, lambda: self._heal(pid, event))
+
+    def _heal(self, pid: int, event: Partition) -> None:
+        self._log(
+            "heal",
+            ",".join(sorted(event.side_a)) + "|" + ",".join(sorted(event.side_b)),
+        )
+        self.backhaul.heal(pid)
+
+    def _jitter_on(self, event: LinkJitter) -> None:
+        self._log("jitter-on", f"{event.src}->{event.dst}")
+        stream = self.rng.stream(
+            f"faults/jitter/{event.src}->{event.dst}@{event.at_us}"
+        )
+        self.backhaul.set_link_jitter(event.src, event.dst, event.jitter_us, stream)
+        self.sim.schedule(event.duration_us, lambda: self._jitter_off(event))
+
+    def _jitter_off(self, event: LinkJitter) -> None:
+        self._log("jitter-off", f"{event.src}->{event.dst}")
+        self.backhaul.clear_link_jitter(event.src, event.dst)
+
+    def _csi_off(self, event: CsiBlackout) -> None:
+        ap = self._ap(event.ap_id)
+        self._log("csi-off", event.ap_id)
+        ap.csi_suppressed = True
+        self.sim.schedule(event.duration_us, lambda: self._csi_on(event.ap_id))
+
+    def _csi_on(self, ap_id: str) -> None:
+        ap = self._ap(ap_id)
+        self._log("csi-on", ap_id)
+        ap.csi_suppressed = False
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def crash_times(self) -> List[Tuple[int, str]]:
+        """(time_us, ap_id) for each executed crash, in order."""
+        return [(t, s) for (t, a, s) in self.events if a == "crash"]
+
+    def trace_lines(self) -> List[str]:
+        """Canonical one-line-per-event rendering (for byte comparison)."""
+        return [f"{t} {a} {s}" for (t, a, s) in self.events]
+
+    def first_crash_us(self) -> Optional[int]:
+        crashes = self.crash_times()
+        return crashes[0][0] if crashes else None

@@ -1,0 +1,284 @@
+"""Declarative, seed-reproducible fault schedules.
+
+A :class:`FaultPlan` is a plain container of fault *events* — frozen
+dataclasses describing **what** goes wrong and **when** (all times in
+integer sim microseconds).  Plans are data: they can be written by
+hand for unit rigs, or drawn from named :class:`~repro.sim.rng.RngRegistry`
+streams via :meth:`FaultPlan.random` for chaos sweeps.  Either way the
+plan is fully determined before the simulation starts; the injector
+(:mod:`repro.faults.injector`) never draws randomness at execution
+time, which is what makes two runs of the same ``(seed, plan)`` pair
+byte-identical.
+
+Event types
+-----------
+
+``ApCrash``
+    AP ``ap_id`` crashes at ``at_us`` (radio off, backhaul endpoint
+    silent, cyclic queues flushed) and — unless ``down_us`` is ``None``
+    — restarts ``down_us`` later, announcing itself to the controller.
+
+``Partition``
+    The backhaul is partitioned between endpoint sets ``side_a`` and
+    ``side_b`` at ``at_us`` and healed ``duration_us`` later.
+
+``LinkJitter``
+    Messages on the directed backhaul link ``src -> dst`` pick up a
+    uniform extra delay in ``[0, jitter_us]`` for ``duration_us``,
+    which reorders control traffic (the jitter draws come from a named
+    stream recorded in the plan so they, too, are reproducible).
+
+``CsiBlackout``
+    AP ``ap_id`` stops producing CSI reports for ``duration_us`` —
+    the controller's view of that cell goes stale without the AP
+    itself failing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from repro.sim.rng import RngRegistry
+
+#: Union of every fault-event type a plan may hold.
+FaultEvent = Union["ApCrash", "Partition", "LinkJitter", "CsiBlackout"]
+
+
+@dataclass(frozen=True)
+class ApCrash:
+    """AP ``ap_id`` crashes at ``at_us``; restarts after ``down_us``."""
+
+    at_us: int
+    ap_id: str
+    #: Downtime before restart; ``None`` means the AP never comes back.
+    down_us: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0:
+            raise ValueError("at_us must be non-negative")
+        if self.down_us is not None and self.down_us <= 0:
+            raise ValueError("down_us must be positive (or None)")
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Backhaul partition between ``side_a`` and ``side_b``."""
+
+    at_us: int
+    duration_us: int
+    side_a: FrozenSet[str]
+    side_b: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0:
+            raise ValueError("at_us must be non-negative")
+        if self.duration_us <= 0:
+            raise ValueError("duration_us must be positive")
+        object.__setattr__(self, "side_a", frozenset(self.side_a))
+        object.__setattr__(self, "side_b", frozenset(self.side_b))
+        if self.side_a & self.side_b:
+            raise ValueError("partition sides must be disjoint")
+
+
+@dataclass(frozen=True)
+class LinkJitter:
+    """Uniform [0, jitter_us] extra delay on directed link src->dst."""
+
+    at_us: int
+    duration_us: int
+    src: str
+    dst: str
+    jitter_us: int
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0:
+            raise ValueError("at_us must be non-negative")
+        if self.duration_us <= 0:
+            raise ValueError("duration_us must be positive")
+        if self.jitter_us <= 0:
+            raise ValueError("jitter_us must be positive")
+
+
+@dataclass(frozen=True)
+class CsiBlackout:
+    """AP ``ap_id`` suppresses CSI reports for ``duration_us``."""
+
+    at_us: int
+    duration_us: int
+    ap_id: str
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0:
+            raise ValueError("at_us must be non-negative")
+        if self.duration_us <= 0:
+            raise ValueError("duration_us must be positive")
+
+
+def _sort_key(event: FaultEvent) -> Tuple[int, int, str]:
+    """Deterministic total order: time, then type rank, then identity."""
+    rank = {ApCrash: 0, Partition: 1, LinkJitter: 2, CsiBlackout: 3}
+    if isinstance(event, ApCrash):
+        ident = event.ap_id
+    elif isinstance(event, Partition):
+        ident = ",".join(sorted(event.side_a)) + "|" + ",".join(sorted(event.side_b))
+    elif isinstance(event, LinkJitter):
+        ident = f"{event.src}->{event.dst}"
+    else:
+        ident = event.ap_id
+    return (event.at_us, rank[type(event)], ident)
+
+
+@dataclass
+class FaultPlan:
+    """An ordered, immutable-in-spirit schedule of fault events."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.events, key=_sort_key)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        """Insert ``event`` keeping the schedule sorted; returns self."""
+        self.events.append(event)
+        self.events.sort(key=_sort_key)
+        return self
+
+    @classmethod
+    def random(
+        cls,
+        rng: RngRegistry,
+        ap_ids: Sequence[str],
+        duration_us: int,
+        *,
+        crash_rate_per_s: float = 0.0,
+        crash_down_us: int = 500_000,
+        partition_rate_per_s: float = 0.0,
+        partition_duration_us: int = 200_000,
+        jitter_rate_per_s: float = 0.0,
+        jitter_us: int = 5_000,
+        jitter_duration_us: int = 500_000,
+        csi_blackout_rate_per_s: float = 0.0,
+        csi_blackout_duration_us: int = 500_000,
+        controller_id: str = "controller",
+    ) -> "FaultPlan":
+        """Draw a plan from named rng streams (``faults/...``).
+
+        Each fault family arrives as a Poisson process with the given
+        per-second rate over ``[0, duration_us)``.  All draws come from
+        streams named for the family, so changing one rate never
+        perturbs the draws of another family, and identical
+        ``(seed, rates)`` pairs yield identical plans.
+        """
+        if duration_us <= 0:
+            raise ValueError("duration_us must be positive")
+        ap_ids = list(ap_ids)
+        if not ap_ids:
+            raise ValueError("ap_ids must be non-empty")
+        duration_s = duration_us / 1e6
+        events: List[FaultEvent] = []
+
+        def _arrival_times(stream_label: str, rate_per_s: float) -> List[int]:
+            if rate_per_s <= 0.0:
+                return []
+            gen = rng.stream(stream_label)
+            count = int(gen.poisson(rate_per_s * duration_s))
+            times = sorted(
+                int(gen.integers(0, duration_us)) for _ in range(count)
+            )
+            return times
+
+        # AP crash + restart --------------------------------------------
+        crash_gen = rng.stream("faults/crashes/choice")
+        for at_us in _arrival_times("faults/crashes", crash_rate_per_s):
+            ap_id = ap_ids[int(crash_gen.integers(0, len(ap_ids)))]
+            events.append(ApCrash(at_us=at_us, ap_id=ap_id, down_us=crash_down_us))
+
+        # Backhaul partition --------------------------------------------
+        part_gen = rng.stream("faults/partitions/choice")
+        for at_us in _arrival_times("faults/partitions", partition_rate_per_s):
+            # Partition a random non-empty strict subset of the APs
+            # away from the controller (and the remaining APs).
+            k = int(part_gen.integers(1, max(2, len(ap_ids))))
+            idx = part_gen.permutation(len(ap_ids))[:k]
+            cut = frozenset(ap_ids[i] for i in idx)
+            keep = frozenset(ap_ids) - cut
+            events.append(
+                Partition(
+                    at_us=at_us,
+                    duration_us=partition_duration_us,
+                    side_a=cut,
+                    side_b=keep | {controller_id},
+                )
+            )
+
+        # Link jitter ----------------------------------------------------
+        jit_gen = rng.stream("faults/jitter/choice")
+        for at_us in _arrival_times("faults/jitter", jitter_rate_per_s):
+            ap_id = ap_ids[int(jit_gen.integers(0, len(ap_ids)))]
+            events.append(
+                LinkJitter(
+                    at_us=at_us,
+                    duration_us=jitter_duration_us,
+                    src=controller_id,
+                    dst=ap_id,
+                    jitter_us=jitter_us,
+                )
+            )
+
+        # CSI blackout ---------------------------------------------------
+        csi_gen = rng.stream("faults/csi/choice")
+        for at_us in _arrival_times("faults/csi", csi_blackout_rate_per_s):
+            ap_id = ap_ids[int(csi_gen.integers(0, len(ap_ids)))]
+            events.append(
+                CsiBlackout(
+                    at_us=at_us,
+                    duration_us=csi_blackout_duration_us,
+                    ap_id=ap_id,
+                )
+            )
+
+        return cls(events=events)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def crashes(self) -> List[ApCrash]:
+        return [e for e in self.events if isinstance(e, ApCrash)]
+
+    def partitions(self) -> List[Partition]:
+        return [e for e in self.events if isinstance(e, Partition)]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def describe(self) -> List[str]:
+        """Human-readable one-liner per event (stable ordering)."""
+        out: List[str] = []
+        for e in self.events:
+            if isinstance(e, ApCrash):
+                back = f"restart +{e.down_us}us" if e.down_us else "no restart"
+                out.append(f"{e.at_us:>12d} crash {e.ap_id} ({back})")
+            elif isinstance(e, Partition):
+                out.append(
+                    f"{e.at_us:>12d} partition {sorted(e.side_a)} | "
+                    f"{sorted(e.side_b)} for {e.duration_us}us"
+                )
+            elif isinstance(e, LinkJitter):
+                out.append(
+                    f"{e.at_us:>12d} jitter {e.src}->{e.dst} "
+                    f"+U[0,{e.jitter_us}]us for {e.duration_us}us"
+                )
+            else:
+                out.append(
+                    f"{e.at_us:>12d} csi-blackout {e.ap_id} for {e.duration_us}us"
+                )
+        return out

@@ -173,6 +173,10 @@ class WifiDevice(MacEntity):
         #: clients use it to decide when a NULL-frame keepalive is due.
         self.last_tx_us = 0
 
+        #: Fault-injection power switch: a powered-off radio neither
+        #: transmits nor receives (no RX draws, no timers, no airtime).
+        self.powered = True
+
         # stats
         self.stats = {
             "mpdus_sent": 0,
@@ -209,9 +213,40 @@ class WifiDevice(MacEntity):
 
     def enqueue(self, packet: Packet, peer: str) -> bool:
         """Queue a packet for transmission to ``peer`` (logical addr)."""
+        if not self.powered:
+            return False
         accepted = self.session(peer).queue.enqueue(packet)
         self._kick()
         return accepted
+
+    def power_off(self) -> None:
+        """Crash the radio: silence every session, cancel every timer.
+
+        In-flight airtime already handed to the medium finishes (the RF
+        energy is out there), but nothing new leaves, nothing is heard,
+        and all MAC state that a rebooting device would lose is lost.
+        """
+        if not self.powered:
+            return
+        self.powered = False
+        for session in self._sessions.values():
+            session.ba_timer.stop()
+            session.awaiting = None
+            session.queue.flush()
+            session.scoreboard.abandon_all()
+            session.consecutive_failures = 0
+            session.mode = "off"
+        self._control_jobs.clear()
+        self._mgmt_inflight = None
+        self._mgmt_timer.stop()
+        if self._beacon_timer is not None:
+            self._beacon_timer.stop()
+        self.dcf.cancel()
+
+    def power_on(self) -> None:
+        """Boot the radio back up (sessions stay "off" until re-armed —
+        a rebooted AP serves nobody until told to)."""
+        self.powered = True
 
     def queue_len(self, peer: str) -> int:
         return len(self.session(peer).queue)
@@ -299,6 +334,8 @@ class WifiDevice(MacEntity):
         return [p for p in self._rr_order if self._sessions[p].has_work()]
 
     def _kick(self) -> None:
+        if not self.powered:
+            return
         if self.dcf.busy:
             return
         if self._mgmt_inflight is not None:
@@ -415,6 +452,8 @@ class WifiDevice(MacEntity):
     # ------------------------------------------------------------------
 
     def cares_about(self, frame: Frame) -> bool:
+        if not self.powered:
+            return False
         if frame.is_broadcast or frame.ra in self.addresses:
             return True
         if self.role == "ap" and self.monitor:

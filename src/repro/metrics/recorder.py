@@ -4,11 +4,15 @@
 towards a client — the data behind the link bit-rate CDF (Figure 16).
 :class:`UplinkLossMeter` tracks windowed uplink datagram loss for the
 multi-client uplink study (Figure 18).
+:class:`FailoverAudit` joins the fault injector's crash trace with the
+controller's switch history and serving timeline into end-to-end
+failover latencies and recovery-deadline verdicts (chaos experiment).
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.scenarios.testbed import Testbed
 from repro.sim.engine import SECOND
@@ -78,3 +82,140 @@ class UplinkLossMeter:
 
     def loss_rates(self) -> List[float]:
         return [loss for _, loss in self.series]
+
+
+@dataclass
+class CrashRecovery:
+    """One AP crash and the recovery (or not) of each affected client."""
+
+    crash_us: int
+    ap_id: str
+    #: Clients the dead AP was serving at crash time.
+    affected_clients: List[str]
+    #: (client_id, latency_us, new_ap) per recovered client — latency is
+    #: measured from the *crash instant*, so it includes heartbeat
+    #: detection lag, not just the failover handshake.
+    recoveries: List[Tuple[str, int, str]]
+    #: Clients with no completed failover/switch after the crash.
+    unrecovered: List[str]
+
+    def latencies_us(self) -> List[int]:
+        return [latency for _, latency, _ in self.recoveries]
+
+
+class FailoverAudit:
+    """End-to-end crash-to-recovery audit for a finished chaos run.
+
+    A client "recovers" from a crash when the controller's serving
+    timeline first moves it to a *different, live* AP after the crash
+    instant — whether through the emergency failover handshake or (for
+    crashes of non-serving APs) not at all.  Deadline verdicts compare
+    the crash-to-recovery latency against
+    ``config.failover_deadline_us``.
+    """
+
+    def __init__(self, testbed: Testbed):
+        if testbed.controller is None:
+            raise ValueError("FailoverAudit requires the WGTT scheme")
+        self._testbed = testbed
+        self._controller = testbed.controller
+        self._deadline_us = testbed.config.wgtt.failover_deadline_us
+
+    # ------------------------------------------------------------------
+    # joins
+    # ------------------------------------------------------------------
+
+    def _serving_at(self, client_id: str, time_us: int) -> Optional[str]:
+        """The AP serving ``client_id`` just before ``time_us``."""
+        current: Optional[str] = None
+        for at_us, client, ap_id in self._controller.serving_timeline:
+            if at_us > time_us:
+                break
+            if client == client_id:
+                current = ap_id
+        return current
+
+    def _clients(self) -> List[str]:
+        return [c.client_id for c in self._testbed.clients]
+
+    def crash_recoveries(self) -> List[CrashRecovery]:
+        """One :class:`CrashRecovery` per executed crash, in order."""
+        injector = self._testbed.fault_injector
+        crash_events = injector.crash_times() if injector is not None else []
+        out: List[CrashRecovery] = []
+        timeline = self._controller.serving_timeline
+        for crash_us, ap_id in crash_events:
+            affected = [
+                client
+                for client in self._clients()
+                if self._serving_at(client, crash_us) == ap_id
+            ]
+            recoveries: List[Tuple[str, int, str]] = []
+            unrecovered: List[str] = []
+            for client in affected:
+                moved = next(
+                    (
+                        (at_us, new_ap)
+                        for at_us, c, new_ap in timeline
+                        if c == client and at_us > crash_us and new_ap != ap_id
+                    ),
+                    None,
+                )
+                if moved is None:
+                    unrecovered.append(client)
+                else:
+                    at_us, new_ap = moved
+                    recoveries.append((client, at_us - crash_us, new_ap))
+            out.append(
+                CrashRecovery(
+                    crash_us=crash_us,
+                    ap_id=ap_id,
+                    affected_clients=affected,
+                    recoveries=recoveries,
+                    unrecovered=unrecovered,
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # summary statistics
+    # ------------------------------------------------------------------
+
+    def failover_latencies_ms(self) -> List[float]:
+        """Crash-to-recovery latency per recovered (crash, client)."""
+        return [
+            latency / 1_000.0
+            for recovery in self.crash_recoveries()
+            for latency in recovery.latencies_us()
+        ]
+
+    def deadline_violations(self) -> int:
+        """Recoveries later than the deadline, plus unrecovered clients
+        on crashes that actually affected someone."""
+        violations = 0
+        for recovery in self.crash_recoveries():
+            violations += sum(
+                1
+                for latency in recovery.latencies_us()
+                if latency > self._deadline_us
+            )
+            violations += len(recovery.unrecovered)
+        return violations
+
+    def summary(self) -> dict:
+        recoveries = self.crash_recoveries()
+        latencies = self.failover_latencies_ms()
+        return {
+            "crashes": len(recoveries),
+            "affected_client_crashes": sum(
+                1 for r in recoveries if r.affected_clients
+            ),
+            "recovered": sum(len(r.recoveries) for r in recoveries),
+            "unrecovered": sum(len(r.unrecovered) for r in recoveries),
+            "deadline_violations": self.deadline_violations(),
+            "deadline_ms": self._deadline_us / 1_000.0,
+            "mean_failover_ms": (
+                sum(latencies) / len(latencies) if latencies else None
+            ),
+            "max_failover_ms": max(latencies) if latencies else None,
+        }

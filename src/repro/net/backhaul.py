@@ -13,7 +13,9 @@ delivery path (:meth:`EthernetBackhaul.send_control`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Tuple
+
+import numpy as np
 
 from repro.sim.engine import Simulator
 
@@ -23,6 +25,10 @@ DEFAULT_LATENCY_US = 300
 CONTROL_LATENCY_US = 150
 #: Gigabit Ethernet.
 DEFAULT_BANDWIDTH_BPS = 1_000_000_000
+#: Seed for the loss stream constructed when the caller sets a
+#: ``loss_rate`` without supplying ``loss_rng`` — loss must never be
+#: silently disabled, and it must stay reproducible.
+DEFAULT_LOSS_SEED = 0xB10C1055
 
 
 @dataclass
@@ -33,6 +39,9 @@ class BackhaulStats:
     bytes: int = 0
     control_messages: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Messages swallowed by injected faults (node down / partition),
+    #: kept apart from the random-loss ``dropped`` counter.
+    fault_dropped: int = 0
 
     def record(self, kind: str, size_bytes: int, control: bool) -> None:
         self.messages += 1
@@ -62,9 +71,16 @@ class EthernetBackhaul:
         """``loss_rate`` drops each message independently — Ethernet is
         effectively lossless in the deployment, but WGTT's 30 ms stop
         retransmission exists exactly because control packets *can* be
-        lost (paper §3.1.2); fault-injection tests use this."""
-        if not 0.0 <= loss_rate < 1.0:
-            raise ValueError("loss_rate must be in [0, 1)")
+        lost (paper §3.1.2); fault-injection tests use this.
+
+        ``loss_rate == 1.0`` (a black-holed wire) is a legal fault to
+        inject; only values outside ``[0, 1]`` are rejected.  When no
+        ``loss_rng`` is supplied a default seeded stream is built on
+        first use, so a non-zero ``loss_rate`` is never silently a
+        no-op.
+        """
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError("loss_rate must be in [0, 1]")
         self._sim = sim
         self.latency_us = latency_us
         self.control_latency_us = control_latency_us
@@ -75,6 +91,19 @@ class EthernetBackhaul:
         self._port_busy_until: Dict[str, int] = {}
         self.stats = BackhaulStats()
         self.dropped = 0
+        # -- fault-injection state (all empty in fault-free runs) -----
+        #: Endpoints whose NIC is dark (crashed AP): anything they send
+        #: or should receive vanishes silently.
+        self._down_nodes: set = set()
+        #: Active partitions: id -> (side_a, side_b); a message crossing
+        #: from one side to the other is dropped.
+        self._partitions: Dict[int, Tuple[FrozenSet[str], FrozenSet[str]]] = {}
+        self._next_partition_id = 1
+        #: Per-directed-link extra-delay jitter: (src, dst) -> (max_us,
+        #: rng).  Varying extra delays reorder messages naturally.
+        self._link_jitter: Dict[
+            Tuple[str, str], Tuple[int, np.random.Generator]
+        ] = {}
 
     def register(self, node_id: str, handler: Callable[[str, str, object], None]):
         """Attach a node to the LAN."""
@@ -84,6 +113,85 @@ class EthernetBackhaul:
 
     def is_attached(self, node_id: str) -> bool:
         return node_id in self._handlers
+
+    # ------------------------------------------------------------------
+    # fault injection (crash / partition / jitter)
+    # ------------------------------------------------------------------
+
+    def set_node_down(self, node_id: str, down: bool = True) -> None:
+        """Silence an endpoint (crashed AP): its port neither sends nor
+        receives until brought back up.  Registration is untouched —
+        the node keeps its handler for when it restarts."""
+        if down:
+            self._down_nodes.add(node_id)
+        else:
+            self._down_nodes.discard(node_id)
+
+    def is_node_down(self, node_id: str) -> bool:
+        return node_id in self._down_nodes
+
+    def partition(
+        self, side_a: Iterable[str], side_b: Iterable[str]
+    ) -> int:
+        """Install a partition between two endpoint sets; messages that
+        would cross it are dropped.  Returns a handle for :meth:`heal`."""
+        a, b = frozenset(side_a), frozenset(side_b)
+        if a & b:
+            raise ValueError("partition sides must be disjoint")
+        partition_id = self._next_partition_id
+        self._next_partition_id += 1
+        self._partitions[partition_id] = (a, b)
+        return partition_id
+
+    def heal(self, partition_id: Optional[int] = None) -> None:
+        """Remove one partition (or all of them when id is None)."""
+        if partition_id is None:
+            self._partitions.clear()
+        else:
+            self._partitions.pop(partition_id, None)
+
+    def partitioned(self, src_id: str, dst_id: str) -> bool:
+        """True when an active partition separates the two endpoints."""
+        for side_a, side_b in self._partitions.values():
+            if (src_id in side_a and dst_id in side_b) or (
+                src_id in side_b and dst_id in side_a
+            ):
+                return True
+        return False
+
+    def set_link_jitter(
+        self,
+        src_id: str,
+        dst_id: str,
+        jitter_us: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """Add uniform extra delay in ``[0, jitter_us]`` to every message
+        on the directed link — enough variance reorders deliveries."""
+        if jitter_us < 0:
+            raise ValueError("jitter must be non-negative")
+        self._link_jitter[(src_id, dst_id)] = (int(jitter_us), rng)
+
+    def clear_link_jitter(
+        self, src_id: Optional[str] = None, dst_id: Optional[str] = None
+    ) -> None:
+        """Remove jitter from one directed link, or from all links."""
+        if src_id is None and dst_id is None:
+            self._link_jitter.clear()
+        else:
+            self._link_jitter.pop((src_id, dst_id), None)
+
+    def _fault_blocked(self, src_id: str, dst_id: str) -> bool:
+        if not self._down_nodes and not self._partitions:
+            return False  # fault-free fast path
+        if src_id in self._down_nodes or dst_id in self._down_nodes:
+            return True
+        return self.partitioned(src_id, dst_id)
+
+    def _loss_draw(self) -> float:
+        if self._loss_rng is None:
+            self._loss_rng = np.random.default_rng(DEFAULT_LOSS_SEED)
+        return self._loss_rng.random()
 
     def send(
         self,
@@ -102,8 +210,17 @@ class EthernetBackhaul:
         if dst_id not in self._handlers:
             raise KeyError(f"unknown backhaul destination {dst_id!r}")
         self.stats.record(kind, size_bytes, control)
-        if self.loss_rate > 0.0 and self._loss_rng is not None:
-            if self._loss_rng.random() < self.loss_rate:
+        if self._fault_blocked(src_id, dst_id):
+            self.stats.fault_dropped += 1
+            return
+        # Heartbeats ride a reliable transport in a real deployment (the
+        # paper's sta-sync uses per-peer TCP); exempting them from the
+        # scalar Bernoulli loss knob also keeps the loss stream's draw
+        # sequence for data/control traffic identical whether or not
+        # liveness is running.  Injected faults (crash, partition) do
+        # drop heartbeats — that is what the liveness tracker detects.
+        if self.loss_rate > 0.0 and kind != "heartbeat":
+            if self._loss_draw() < self.loss_rate:
                 self.dropped += 1
                 return
         serialization_us = int(size_bytes * 8 / self.bandwidth_bps * 1e6)
@@ -114,6 +231,11 @@ class EthernetBackhaul:
             start = max(self._sim.now, self._port_busy_until.get(src_id, 0))
             self._port_busy_until[src_id] = start + serialization_us
             delay = (start - self._sim.now) + serialization_us + self.latency_us
+        jitter = self._link_jitter.get((src_id, dst_id))
+        if jitter is not None:
+            max_us, rng = jitter
+            if max_us > 0:
+                delay += int(rng.integers(0, max_us + 1))
         handler = self._handlers[dst_id]
         self._sim.schedule(delay, lambda: handler(src_id, kind, payload))
 

@@ -26,6 +26,8 @@ from repro.core.access_point import WgttAccessPoint
 from repro.core.assoc_sync import StaInfo
 from repro.core.config import WgttConfig
 from repro.core.controller import WgttController
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.mac.medium import WirelessMedium
 from repro.mac.wifi_device import WifiDevice
 from repro.mobility.road import Position, Road
@@ -94,6 +96,10 @@ class TestbedConfig:
     #: channel on every switch, and cross-channel overhearing — hence
     #: uplink diversity and BA forwarding — disappears.
     channel_plan: Optional[List[int]] = None
+    #: Optional chaos schedule (``repro.faults``). When set, a
+    #: :class:`FaultInjector` is built and armed at construction, so
+    #: the plan's crashes/partitions/jitter fire during the run.
+    fault_plan: Optional["FaultPlan"] = None
 
     def ap_channel(self, index: int) -> int:
         if self.channel_plan is None:
@@ -237,6 +243,10 @@ class Testbed:
             for client in self.clients:
                 self._associate_instantly(client)
 
+        self.fault_injector: Optional[FaultInjector] = None
+        if config.fault_plan is not None:
+            self.install_fault_plan(config.fault_plan)
+
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
@@ -338,6 +348,26 @@ class Testbed:
             agent._last_switch_us = self.sim.now
             agent.association_log.append((self.sim.now, first_ap))
             self.wlc._route[client.client_id] = first_ap
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    def install_fault_plan(self, plan: FaultPlan) -> FaultInjector:
+        """Arm a chaos schedule against this testbed (WGTT only)."""
+        if self.config.scheme != "wgtt":
+            raise ValueError("fault injection targets the WGTT scheme")
+        self.fault_injector = FaultInjector(self, plan)
+        self.fault_injector.arm()
+        return self.fault_injector
+
+    def crash_ap(self, ap_id: str) -> None:
+        """Immediately crash one AP (manual chaos helper)."""
+        self.wgtt_aps[ap_id].crash()
+
+    def restart_ap(self, ap_id: str) -> None:
+        """Immediately restart a crashed AP."""
+        self.wgtt_aps[ap_id].restart()
 
     # ------------------------------------------------------------------
     # traffic plumbing

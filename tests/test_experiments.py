@@ -41,6 +41,33 @@ class TestFig02Driver:
         assert result["best_ap"][0] in result["esnr_series"]
 
 
+class TestExtFaultsDriver:
+    def test_registered_in_cli(self):
+        from repro.cli import EXPERIMENTS
+
+        assert "ext_faults" in EXPERIMENTS
+        assert "ext_density" in EXPERIMENTS
+
+    def test_smoke_recovers_within_deadline(self):
+        """The CI chaos smoke: one mid-drive crash of the serving AP
+        must fail over to a live AP inside the recovery deadline."""
+        from repro.experiments import ext_faults
+
+        result = ext_faults.run_smoke(seed=3)
+        assert result["ok"] is True
+        assert result["tcp_forward_progress"] is True
+        assert result["summary"]["deadline_violations"] == 0
+        assert all(
+            latency <= result["deadline_ms"]
+            for latency in result["failover_ms"]
+        )
+
+    def test_smoke_cli_exit_code(self):
+        from repro.experiments import ext_faults
+
+        assert ext_faults.main(["--smoke", "--seed", "3"]) == 0
+
+
 class TestFig10Driver:
     def test_heatmap_geometry(self):
         result = fig10.run(seed=3)

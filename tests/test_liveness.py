@@ -1,0 +1,110 @@
+"""Tests for the heartbeat-driven AP liveness tracker."""
+
+import pytest
+
+from repro.core.liveness import ALIVE, ApLivenessTracker
+from repro.sim import Simulator
+
+MS = 1_000
+
+
+def make_tracker(interval_ms=20, miss_limit=3):
+    sim = Simulator()
+    tracker = ApLivenessTracker(sim, interval_ms * MS, miss_limit)
+    downs, ups = [], []
+    tracker.on_down = lambda ap: downs.append((sim.now, ap))
+    tracker.on_up = lambda ap: ups.append((sim.now, ap))
+    return sim, tracker, downs, ups
+
+
+def beat_until(sim, tracker, ap_id, until_us, interval_us):
+    """Schedule periodic beats for one AP up to a cutoff time."""
+    t = interval_us
+    while t <= until_us:
+        sim.schedule(t - sim.now, lambda ap=ap_id: tracker.beat(ap))
+        t += interval_us
+
+
+class TestStateMachine:
+    def test_unknown_ap_never_declared_dead(self):
+        sim, tracker, downs, _ = make_tracker()
+        # no beats at all: the check timer never even starts
+        sim.run(until_us=10_000 * MS)
+        assert tracker.state("ap0") == ALIVE  # UNKNOWN reads as alive
+        assert not tracker.is_dead("ap0")
+        assert downs == []
+        assert tracker.tracked_aps() == frozenset()
+
+    def test_beating_ap_stays_alive(self):
+        sim, tracker, downs, _ = make_tracker()
+        beat_until(sim, tracker, "ap0", 500 * MS, 20 * MS)
+        sim.run(until_us=500 * MS)
+        assert tracker.state("ap0") == ALIVE
+        assert downs == []
+
+    def test_silent_ap_declared_dead_within_bound(self):
+        sim, tracker, downs, _ = make_tracker(interval_ms=20, miss_limit=3)
+        beat_until(sim, tracker, "ap0", 200 * MS, 20 * MS)  # last beat 200ms
+        sim.run(until_us=1_000 * MS)
+        assert tracker.is_dead("ap0")
+        assert len(downs) == 1
+        down_at, ap = downs[0]
+        assert ap == "ap0"
+        # detection lag bound: (miss_limit + 1) * interval after last beat
+        assert 200 * MS < down_at <= 200 * MS + 4 * 20 * MS
+
+    def test_revival_on_next_beat(self):
+        sim, tracker, downs, ups = make_tracker()
+        beat_until(sim, tracker, "ap0", 100 * MS, 20 * MS)
+        sim.run(until_us=400 * MS)
+        assert tracker.is_dead("ap0")
+        sim.schedule(0, lambda: tracker.mark_alive("ap0"))
+        sim.run(until_us=401 * MS)
+        assert tracker.state("ap0") == ALIVE
+        assert len(ups) == 1
+        # exactly one down and one up: no duplicate edges
+        assert len(downs) == 1
+        assert [kind for _, kind, _ in tracker.events] == ["down", "up"]
+
+    def test_one_dead_ap_does_not_kill_the_others(self):
+        sim, tracker, downs, _ = make_tracker()
+        beat_until(sim, tracker, "ap0", 100 * MS, 20 * MS)  # dies
+        beat_until(sim, tracker, "ap1", 900 * MS, 20 * MS)  # keeps beating
+        sim.run(until_us=900 * MS)
+        assert tracker.is_dead("ap0")
+        assert not tracker.is_dead("ap1")
+        assert tracker.dead_aps() == frozenset({"ap0"})
+        assert [ap for _, ap in downs] == ["ap0"]
+
+
+class TestEdgeCases:
+    def test_miss_limit_validated(self):
+        with pytest.raises(ValueError):
+            ApLivenessTracker(Simulator(), 20 * MS, miss_limit=0)
+
+    def test_zero_interval_disables_tracking(self):
+        sim = Simulator()
+        tracker = ApLivenessTracker(sim, 0)
+        tracker.beat("ap0")
+        sim.run(until_us=10_000 * MS)
+        assert tracker.tracked_aps() == frozenset()
+        assert not tracker.is_dead("ap0")
+
+    def test_forget_stops_tracking(self):
+        sim, tracker, downs, _ = make_tracker()
+        beat_until(sim, tracker, "ap0", 100 * MS, 20 * MS)
+        sim.run(until_us=100 * MS)
+        tracker.forget("ap0")
+        sim.run(until_us=1_000 * MS)
+        assert downs == []  # never declared dead after forget
+        assert tracker.tracked_aps() == frozenset()
+
+    def test_deterministic_event_trace(self):
+        def run_once():
+            sim, tracker, _, _ = make_tracker()
+            beat_until(sim, tracker, "ap0", 100 * MS, 20 * MS)
+            beat_until(sim, tracker, "ap1", 200 * MS, 20 * MS)
+            sim.run(until_us=600 * MS)
+            return list(tracker.events)
+
+        assert run_once() == run_once()

@@ -84,6 +84,30 @@ def test_forget_client():
     assert selector.best_ap("c", 100) is None
 
 
+def test_forget_ap_removes_every_clients_window():
+    """A dead AP must stop competing immediately — its CSI may be only
+    microseconds old — and its windows must be freed (the unbounded
+    per-AP growth fix)."""
+    selector = ApSelector(10_000)
+    selector.record("c1", "ap1", 0, 30.0)
+    selector.record("c1", "ap2", 0, 20.0)
+    selector.record("c2", "ap1", 0, 25.0)
+    selector.forget_ap("ap1")
+    # ap1 no longer wins for anyone, even with fresh high readings
+    assert selector.best_ap("c1", 100) == "ap2"
+    assert selector.best_ap("c2", 100) is None
+    assert "ap1" not in selector.candidates("c1", 100)
+    # c2 held only ap1: its per-client dict is freed entirely
+    assert "c2" not in selector._readings
+
+
+def test_forget_ap_unknown_is_noop():
+    selector = ApSelector(10_000)
+    selector.record("c", "ap1", 0, 30.0)
+    selector.forget_ap("ghost")
+    assert selector.best_ap("c", 100) == "ap1"
+
+
 def test_incumbent_without_readings_can_lose():
     """If the incumbent fell silent (left the fan-out), any AP with
     readings wins regardless of margin."""

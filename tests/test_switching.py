@@ -3,7 +3,14 @@
 import pytest
 
 from repro.core.config import WgttConfig
-from repro.core.switching import AckMsg, StartMsg, SwitchCoordinator
+from repro.core.switching import (
+    OUTCOME_ABORTED,
+    OUTCOME_COMPLETED,
+    OUTCOME_FAILED_OVER,
+    AckMsg,
+    StartMsg,
+    SwitchCoordinator,
+)
 from repro.net.backhaul import EthernetBackhaul
 from repro.sim import Simulator
 
@@ -124,3 +131,156 @@ def test_on_complete_callback():
     coordinator.initiate("client0", "ap1", "ap2")
     sim.run()
     assert done == ["ap2"]
+
+
+# ----------------------------------------------------------------------
+# hardening: outcomes, abort, backoff, failover
+# ----------------------------------------------------------------------
+
+
+def test_completed_switch_records_outcome():
+    sim, coordinator, _, _ = make_coordinator()
+    coordinator.initiate("client0", "ap1", "ap2")
+    sim.run()
+    assert coordinator.history[0].outcome == OUTCOME_COMPLETED
+    assert coordinator.history[0].failover is False
+
+
+def test_retry_cap_enforced_with_outcome():
+    """Retries are capped and exhaustion is a first-class outcome."""
+    sim, coordinator, state, config = make_coordinator(drop_stops=100)
+    aborted = []
+    coordinator.on_abort = lambda record: aborted.append(record)
+    coordinator.initiate("client0", "ap1", "ap2")
+    sim.run()
+    assert state["stops"] == config.switch_retry_limit + 1
+    assert coordinator.abandoned == 1
+    record = coordinator.history[0]
+    assert record.outcome == OUTCOME_ABORTED
+    assert record.abort_reason == "retry limit exhausted"
+    assert aborted == [record]
+
+
+def test_backoff_bounds():
+    """Retry delays stay within [timeout, backoff cap] and never
+    regress: the n-th delay is monotonically non-decreasing."""
+    _, coordinator, _, config = make_coordinator()
+    delays = [coordinator._retry_delay_us(n) for n in range(12)]
+    assert delays[0] == config.switch_timeout_us  # first retry: full speed
+    assert delays[1] == config.switch_timeout_us  # second too (common case)
+    assert all(d >= config.switch_timeout_us for d in delays)
+    assert all(d <= config.switch_backoff_max_us for d in delays)
+    assert delays == sorted(delays)  # monotone
+    assert delays[-1] == config.switch_backoff_max_us  # cap reached
+    assert any(b > a for a, b in zip(delays, delays[1:]))  # actually grows
+
+
+def test_abort_frees_slot_and_busy_clears():
+    sim, coordinator, state, _ = make_coordinator(drop_stops=100)
+    coordinator.initiate("client0", "ap1", "ap2")
+    assert coordinator.busy("client0")
+    record = coordinator.abort("client0", reason="target died")
+    assert record is not None
+    assert not coordinator.busy("client0")
+    assert record.outcome == OUTCOME_ABORTED
+    assert record.abort_reason == "target died"
+    assert coordinator.aborted == 1
+    # the slot is genuinely free: a new switch can start immediately
+    coordinator.initiate("client0", "ap1", "ap2")
+    assert coordinator.busy("client0")
+    # and the stopped retransmission timer stays stopped
+    stops_before = state["stops"]
+    sim.run(until_us=sim.now + 500_000)
+    assert state["stops"] >= stops_before  # no crash; timer of aborted
+    assert len([r for r in coordinator.history if r.outcome == OUTCOME_ABORTED])
+
+
+def test_abort_nonexistent_switch_returns_none():
+    _, coordinator, _, _ = make_coordinator()
+    assert coordinator.abort("ghost") is None
+    assert coordinator.aborted == 0
+
+
+def test_abort_for_ap_kills_switches_touching_dead_ap():
+    sim, coordinator, _, _ = make_coordinator(drop_stops=100)
+    coordinator.initiate("client0", "ap1", "ap2")  # ap2 is the target
+    coordinator.initiate("client1", "ap2", "ap1")  # ap2 is the source
+    coordinator.initiate("client2", "ap1", "ap3")  # untouched by ap2
+    aborted = coordinator.abort_for_ap("ap2")
+    assert {r.client for r in aborted} == {"client0", "client1"}
+    assert not coordinator.busy("client0")
+    assert not coordinator.busy("client1")
+    assert coordinator.busy("client2")
+    assert all("ap2" in r.abort_reason for r in aborted)
+
+
+def test_failover_handshake_completes():
+    """controller -> new AP -> ack, no stop/start leg (old AP is dead)."""
+    sim = Simulator()
+    backhaul = EthernetBackhaul(sim)
+    config = WgttConfig()
+    coordinator = SwitchCoordinator(sim, backhaul, config)
+    seen = {"failover": 0}
+
+    def ap2_handler(src, kind, payload):
+        if kind != "failover":
+            return
+        seen["failover"] += 1
+        assert payload.dead_ap == "ap1"
+        ack = AckMsg(
+            client=payload.client, ap="ap2", switch_id=payload.switch_id
+        )
+        backhaul.send_control("ap2", "controller", "ack", ack)
+
+    backhaul.register("ap1", lambda *a: None)  # dead: never answers
+    backhaul.register("ap2", ap2_handler)
+    backhaul.register(
+        "controller",
+        lambda src, kind, p: coordinator.on_ack(p) if kind == "ack" else None,
+    )
+    coordinator.initiate_failover("client0", "ap1", "ap2")
+    assert coordinator.busy("client0")
+    assert coordinator.pending_record("client0").failover is True
+    sim.run()
+    assert seen["failover"] == 1
+    record = coordinator.history[0]
+    assert record.outcome == OUTCOME_FAILED_OVER
+    assert record.failover is True
+    assert record.duration_us is not None
+
+
+def test_failover_retries_failover_not_stop():
+    """A lost failover message is retransmitted as failover."""
+    sim = Simulator()
+    backhaul = EthernetBackhaul(sim)
+    config = WgttConfig()
+    coordinator = SwitchCoordinator(sim, backhaul, config)
+    seen = {"failover": 0, "stop": 0, "drop": 1}
+
+    def ap2_handler(src, kind, payload):
+        if kind == "stop":
+            seen["stop"] += 1
+            return
+        if kind != "failover":
+            return
+        seen["failover"] += 1
+        if seen["drop"] > 0:
+            seen["drop"] -= 1
+            return
+        ack = AckMsg(
+            client=payload.client, ap="ap2", switch_id=payload.switch_id
+        )
+        backhaul.send_control("ap2", "controller", "ack", ack)
+
+    backhaul.register("ap2", ap2_handler)
+    backhaul.register(
+        "controller",
+        lambda src, kind, p: coordinator.on_ack(p) if kind == "ack" else None,
+    )
+    coordinator.initiate_failover("client0", "ap1", "ap2")
+    sim.run()
+    assert seen["failover"] == 2  # original + one retransmission
+    assert seen["stop"] == 0  # never falls back to the stop leg
+    record = coordinator.history[0]
+    assert record.outcome == OUTCOME_FAILED_OVER
+    assert record.retries == 1
