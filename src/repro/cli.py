@@ -40,6 +40,7 @@ EXPERIMENTS = {
     "ablations": "WGTT design-choice ablations",
     "ext_density": "throughput vs AP deployment density",
     "ext_faults": "chaos sweep: crash rate × partition duration",
+    "ext_ha": "controller-kill sweep under warm-standby HA",
 }
 
 

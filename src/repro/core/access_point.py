@@ -19,7 +19,8 @@ AP-side WGTT behaviour:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from collections import deque
+from typing import Deque, Dict, Optional, Set, Tuple
 
 import numpy as np
 
@@ -100,6 +101,20 @@ class WgttAccessPoint:
         #: hardware — the controller must survive the staleness).
         self.csi_suppressed = False
         self._heartbeat_seq = 0
+        #: Controller-liveness watch (HA mode).  Armed lazily on the
+        #: first "ctrl-heartbeat" — a controller that never heartbeats
+        #: (the non-HA configurations) costs nothing and is never
+        #: declared down.
+        self._ctrl_last_beat: Optional[int] = None
+        self._ctrl_watch_timer = Timer(self._sim, self._ctrl_watch_tick)
+        #: True while the controller is silent: uplink/CSI forwards are
+        #: buffered (bounded, drop-oldest) instead of poured into a
+        #: dead socket, and flushed on re-home.
+        self._holding = False
+        self._hold_buffer: Deque[Tuple[str, object, int]] = deque()
+        #: Clients whose cyclic-queue span currently exceeds the high
+        #: watermark (backpressure signalled, release pending).
+        self._backpressured: Set[str] = set()
 
         self.stats = {
             "stops_handled": 0,
@@ -116,6 +131,15 @@ class WgttAccessPoint:
             "heartbeats_sent": 0,
             "crashes": 0,
             "restarts": 0,
+            "ctrl_heartbeats_seen": 0,
+            "ctrl_down_detected": 0,
+            "hold_buffered": 0,
+            "hold_dropped": 0,
+            "hold_flushed": 0,
+            "rehomed": 0,
+            "serving_claims_sent": 0,
+            "backpressure_signals": 0,
+            "clients_departed": 0,
         }
         backhaul.register(ap_id, self._on_backhaul)
         self._heartbeat_timer = Timer(self._sim, self._heartbeat_tick)
@@ -173,6 +197,11 @@ class WgttAccessPoint:
         self.alive = False
         self.stats["crashes"] += 1
         self._heartbeat_timer.stop()
+        self._ctrl_watch_timer.stop()
+        self._ctrl_last_beat = None
+        self._holding = False
+        self._hold_buffer.clear()
+        self._backpressured.clear()
         self.device.power_off()
         for queue in self._cyclic.values():
             queue.clear()
@@ -205,6 +234,157 @@ class WgttAccessPoint:
             self._heartbeat_timer.start(self._config.heartbeat_interval_us)
 
     # ------------------------------------------------------------------
+    # controller liveness: watch, hold, re-home (HA mode)
+    # ------------------------------------------------------------------
+
+    def controller_id(self) -> str:
+        """Who this AP currently reports to (re-homing changes it)."""
+        return self._controller_id
+
+    def holding(self) -> bool:
+        return self._holding
+
+    def _ctrl_beat(self, src: str) -> None:
+        """A controller heartbeat: (re)arm the watch, clear any hold."""
+        self.stats["ctrl_heartbeats_seen"] += 1
+        self._ctrl_last_beat = self._sim.now
+        if self._holding and src == self._controller_id:
+            # The primary came back before any takeover: resume.
+            self._exit_hold()
+        if not self._ctrl_watch_timer.armed:
+            # Lazy arm: a controller that never heartbeats (every
+            # non-HA configuration) is never watched, never "down".
+            interval = self._config.controller_heartbeat_interval_us
+            if interval > 0:
+                self._ctrl_watch_timer.start(interval)
+
+    def _ctrl_watch_tick(self) -> None:
+        interval = self._config.controller_heartbeat_interval_us
+        deadline = self._config.controller_miss_limit * interval
+        if (
+            not self._holding
+            and self._ctrl_last_beat is not None
+            and self._sim.now - self._ctrl_last_beat > deadline
+        ):
+            # Controller silent too long: buffer-and-hold.  Uplink and
+            # CSI forwards queue locally (bounded) instead of pouring
+            # into a dead socket; a takeover or a returning heartbeat
+            # releases them.
+            self._holding = True
+            self.stats["ctrl_down_detected"] += 1
+        self._ctrl_watch_timer.start(interval)
+
+    def _exit_hold(self) -> None:
+        self._holding = False
+        while self._hold_buffer:
+            kind, payload, size_bytes = self._hold_buffer.popleft()
+            self._backhaul.send(
+                self.ap_id,
+                self._controller_id,
+                kind,
+                payload,
+                size_bytes=size_bytes,
+            )
+            self.stats["hold_flushed"] += 1
+
+    def _rehome(self, new_controller_id: str) -> None:
+        """ctrl-takeover: a promoted standby is the controller now."""
+        if new_controller_id != self._controller_id:
+            self._controller_id = new_controller_id
+            self.stats["rehomed"] += 1
+        self._ctrl_last_beat = self._sim.now
+        if self._holding:
+            self._exit_hold()
+        # Beat immediately so the new controller's liveness tracker
+        # hears this AP without waiting out a full heartbeat period.
+        self._heartbeat_seq += 1
+        self._backhaul.send_control(
+            self.ap_id,
+            self._controller_id,
+            "heartbeat",
+            self._heartbeat_seq,
+            size_bytes=HEARTBEAT_WIRE_BYTES,
+        )
+        self.stats["heartbeats_sent"] += 1
+        # Report per-client cyclic write edges so the promoted
+        # controller can true up its (checkpoint-stale) index cursors
+        # and never overwrite an undelivered slot.
+        edges = {
+            client_id: queue.write_edge
+            for client_id, queue in sorted(self._cyclic.items())
+        }
+        if edges:
+            self._backhaul.send(
+                self.ap_id,
+                self._controller_id,
+                "edge-report",
+                edges,
+                size_bytes=16 + 8 * len(edges),
+            )
+
+    def _ctrl_resync(self, src: str) -> None:
+        """ctrl-hello: a cold-restarted controller has empty state.
+
+        Replay this AP's association directory (the sta-sync store the
+        paper replicates to every AP, §4.3) and *claim* the clients this
+        AP is actively serving, so the restarted controller's serving
+        map converges on reality instead of every client's first AP.
+        Claims ride the same FIFO data port as the sta-sync replay, so
+        they can never arrive before the registration they refer to.
+        """
+        self._controller_id = src
+        self._ctrl_last_beat = self._sim.now
+        if self._holding:
+            self._exit_hold()
+        for client_id in sorted(self.directory.clients()):
+            self._backhaul.send(
+                self.ap_id,
+                src,
+                "sta-sync",
+                self.directory.get(client_id),
+                size_bytes=STA_SYNC_WIRE_BYTES,
+            )
+        for client_id in sorted(self._serving):
+            self._backhaul.send(
+                self.ap_id, src, "serving-claim", client_id, size_bytes=64
+            )
+            self.stats["serving_claims_sent"] += 1
+
+    def _client_departed(self, client_id: str) -> None:
+        """client-departed: free every per-client resource on this AP."""
+        self.stats["clients_departed"] += 1
+        self._serving.discard(client_id)
+        self._backpressured.discard(client_id)
+        self._serving_view.pop(client_id, None)
+        self._cyclic.pop(client_id, None)
+        if self.directory.is_associated(client_id):
+            self.directory.remove(client_id)
+        self.device.set_session_mode(client_id, "off")
+
+    def _forward_to_controller(
+        self, kind: str, payload: object, size_bytes: int
+    ) -> None:
+        """Uplink/CSI egress point, hold-aware.
+
+        While the controller is silent the forward is buffered (bounded,
+        drop-oldest — the freshest CSI and the newest uplink datagrams
+        are worth the most after recovery)."""
+        if self._holding:
+            if len(self._hold_buffer) >= self._config.ctrl_hold_buffer_slots:
+                self._hold_buffer.popleft()
+                self.stats["hold_dropped"] += 1
+            self._hold_buffer.append((kind, payload, size_bytes))
+            self.stats["hold_buffered"] += 1
+            return
+        self._backhaul.send(
+            self.ap_id,
+            self._controller_id,
+            kind,
+            payload,
+            size_bytes=size_bytes,
+        )
+
+    # ------------------------------------------------------------------
     # backhaul dispatch
     # ------------------------------------------------------------------
 
@@ -227,15 +407,62 @@ class WgttAccessPoint:
         elif kind == "serving-update":
             client_id, ap_id = payload
             self._serving_view[client_id] = ap_id
+        elif kind == "ctrl-heartbeat":
+            self._ctrl_beat(src)
+        elif kind == "ctrl-takeover":
+            self._rehome(src)
+        elif kind == "ctrl-hello":
+            self._ctrl_resync(src)
+        elif kind == "client-departed":
+            self._client_departed(payload)
 
     # ------------------------------------------------------------------
     # downlink: fan-out intake and radio refill
     # ------------------------------------------------------------------
 
     def _downlink_data(self, client_id: str, index: int, packet: Packet) -> None:
-        self.cyclic_queue(client_id).insert(index, packet)
+        queue = self.cyclic_queue(client_id)
+        queue.insert(index, packet)
         if client_id in self._serving:
             self._refill(client_id, self.device.queue_room(client_id))
+            self._check_backpressure(client_id, queue)
+
+    def _check_backpressure(self, client_id: str, queue: CyclicQueue) -> None:
+        """Hysteresis-banded overload signal for the serving AP's queue.
+
+        Only the serving AP's span is meaningful — at non-serving APs
+        the reader never moves, so the writer lapping it is the normal,
+        benign previous-lap overwrite the 12-bit design expects.  Above
+        the high watermark the controller is told to pace this client's
+        fan-out (explicit, counted drops at ingress); below the low
+        watermark the signal clears.
+        """
+        if (
+            not self._config.backpressure_enabled
+            or client_id not in self._serving
+        ):
+            return
+        span = queue.pending_span()
+        high = int(queue.size * self._config.backpressure_high_ratio)
+        low = int(queue.size * self._config.backpressure_low_ratio)
+        if client_id not in self._backpressured and span >= high:
+            self._backpressured.add(client_id)
+            self.stats["backpressure_signals"] += 1
+            self._backhaul.send_control(
+                self.ap_id,
+                self._controller_id,
+                "backpressure",
+                (client_id, True),
+            )
+        elif client_id in self._backpressured and span <= low:
+            self._backpressured.discard(client_id)
+            self.stats["backpressure_signals"] += 1
+            self._backhaul.send_control(
+                self.ap_id,
+                self._controller_id,
+                "backpressure",
+                (client_id, False),
+            )
 
     def _refill(self, client_id: str, room: int = 0) -> None:
         """Top up the radio's service queue from the cyclic queue.
@@ -261,6 +488,10 @@ class WgttAccessPoint:
                 self.device.enqueue(packet, client_id)
         finally:
             self._refilling = False
+        if client_id in self._backpressured:
+            # Draining may have pulled the span back under the low
+            # watermark — release the controller promptly.
+            self._check_backpressure(client_id, queue)
 
     # ------------------------------------------------------------------
     # switching protocol, AP side
@@ -278,6 +509,9 @@ class WgttAccessPoint:
         self.stats["stops_handled"] += 1
         client_id = message.client
         self._serving.discard(client_id)
+        # Any engaged backpressure is moot now: the controller clears
+        # the pacing flag itself when the switch completes.
+        self._backpressured.discard(client_id)
         # Drain mode: whatever is already on the scoreboard (the NIC
         # hardware queue, in the paper's terms) may still go out over
         # the inferior link — ~6 ms of airtime — but nothing new is
@@ -393,22 +627,14 @@ class WgttAccessPoint:
             rssi_dbm=rssi_dbm,
         )
         self.stats["csi_reports"] += 1
-        self._backhaul.send(
-            self.ap_id,
-            self._controller_id,
-            "csi",
-            report,
-            size_bytes=report.wire_size_bytes(),
+        self._forward_to_controller(
+            "csi", report, report.wire_size_bytes()
         )
 
     def _uplink_received(self, packet: Packet, from_addr: str) -> None:
         self.stats["uplink_forwarded"] += 1
-        self._backhaul.send(
-            self.ap_id,
-            self._controller_id,
-            "uplink",
-            packet,
-            size_bytes=tunnel_wire_size(packet, downlink=False),
+        self._forward_to_controller(
+            "uplink", packet, tunnel_wire_size(packet, downlink=False)
         )
 
     def _overheard_ba(self, frame: BlockAckFrame) -> None:

@@ -98,6 +98,64 @@ class WgttConfig:
     #: caches content locally to exclude Internet latency).
     server_latency_us: int = 1 * MS
 
+    # -- controller high availability (HA extension) ------------------
+
+    #: Master switch for the controller HA subsystem.  When False (the
+    #: default) nothing changes: no standby is built, no controller
+    #: heartbeats are broadcast, no checkpoints are shipped — runs are
+    #: bit-identical to the pre-HA simulator.
+    ha_enabled: bool = False
+
+    #: Backhaul id of the warm-standby controller.
+    standby_id: str = "controller-b"
+
+    #: Primary → array "ctrl-heartbeat" broadcast period.  Both the
+    #: standby (promotion trigger) and every AP (buffer-and-hold
+    #: trigger) watch this stream.
+    controller_heartbeat_interval_us: int = 20 * MS
+
+    #: Consecutive missed controller heartbeats before the standby
+    #: promotes itself / an AP enters buffer-and-hold.
+    controller_miss_limit: int = 3
+
+    #: How often the primary ships a full state checkpoint to the
+    #: standby.  Smaller intervals bound duplicate leakage and lost
+    #: packets across a failover at the cost of backhaul bytes — the
+    #: ``ext_ha`` sweep measures the trade.
+    checkpoint_interval_us: int = 100 * MS
+
+    #: Bounded AP-side buffer for uplink/CSI traffic while the
+    #: controller is unreachable (buffer-and-hold).  Oldest entries are
+    #: dropped (and counted) when full.
+    ctrl_hold_buffer_slots: int = 512
+
+    #: Cyclic-queue indices the promoted standby skips ahead on every
+    #: restored cursor.  The checkpoint it restores from is up to
+    #: ``checkpoint_interval_us`` stale, so the dead primary may have
+    #: allocated indices past the checkpointed cursor; re-using them
+    #: would overwrite undelivered slots at the APs (counted in
+    #: ``overflow_drops``).  Skipping is free — cyclic-queue readers
+    #: skip gaps by design — and the ``edge-report`` resync the APs
+    #: send on re-home trues the cursor up exactly afterwards.
+    ha_index_skid: int = 256
+
+    # -- cyclic-queue overload guardrails -----------------------------
+
+    #: When True, the *serving* AP signals the controller when a
+    #: client's cyclic-queue pending span crosses the high watermark;
+    #: the controller then paces ``accept_downlink`` (drops are
+    #: explicit and counted) until the low watermark is reached.
+    #: Default False so fault-free runs stay bit-identical to the
+    #: pre-guardrail simulator; ``overflow_drops`` accounting in
+    #: :class:`~repro.core.cyclic_queue.CyclicQueue` is always on
+    #: (counters never perturb behaviour).
+    backpressure_enabled: bool = False
+
+    #: Pending-span fractions of the cyclic-queue size at which the
+    #: serving AP raises / clears backpressure.
+    backpressure_high_ratio: float = 0.75
+    backpressure_low_ratio: float = 0.50
+
     # -- ablation switches (all paper-default True/median) ------------
 
     #: Forward overheard block ACKs to the serving AP (§3.2.1).

@@ -53,6 +53,34 @@ class ClientState:
         self.degraded_since: Optional[int] = None
         #: True while a deferred failover retry is scheduled.
         self.failover_retry_pending = False
+        #: True while the serving AP signals cyclic-queue backpressure:
+        #: ``accept_downlink`` paces (drops, explicitly counted) until
+        #: the AP clears the signal.
+        self.paced = False
+
+    # -- checkpoint support -------------------------------------------
+
+    def to_state(self) -> dict:
+        return {
+            "client_id": self.client_id,
+            "serving_ap": self.serving_ap,
+            "last_switch_us": self.last_switch_us,
+            "last_selection_check_us": self.last_selection_check_us,
+            "degraded_since": self.degraded_since,
+            "failover_retry_pending": self.failover_retry_pending,
+            "paced": self.paced,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ClientState":
+        out = cls(
+            state["client_id"], state["serving_ap"], state["last_switch_us"]
+        )
+        out.last_selection_check_us = state["last_selection_check_us"]
+        out.degraded_since = state["degraded_since"]
+        out.failover_retry_pending = state["failover_retry_pending"]
+        out.paced = state["paced"]
+        return out
 
 
 class WgttController:
@@ -90,7 +118,28 @@ class WgttController:
         self.directory = AssociationDirectory()
         self._index_alloc = IndexAllocator(self._config.cyclic_queue_size)
         self._clients: Dict[str, ClientState] = {}
+        #: Per-client periodic selection timers (tracked so crash stops
+        #: them and checkpoint/restore re-arms them in phase).
+        self._selection_timers: Dict[str, Timer] = {}
+        #: Per-client deferred emergency-failover retry timers.
+        self._retry_timers: Dict[str, Timer] = {}
         self._ap_ids: Set[str] = set()
+        #: False while crashed (fault injection): timers stopped, the
+        #: backhaul endpoint dark, volatile protocol state lost.
+        self.alive = True
+        #: "primary" | "standby" | "active" (a promoted standby).
+        self.role = "primary"
+        #: HA peer (warm standby) backhaul id; when set, serving
+        #: updates are mirrored to it (part of the standby's warm feed).
+        self.ha_peer: Optional[str] = None
+        #: Fired after :meth:`restart` finishes (HA cluster hook).
+        self.on_restart: Callable[[], None] = lambda: None
+        #: Whether a cold restart announces itself with "ctrl-hello"
+        #: (the HA cluster clears this on a demoted ex-primary).
+        self.hello_on_restart = True
+        self._ctrl_heartbeat_timer = Timer(
+            self._sim, self._ctrl_heartbeat_tick
+        )
         #: APs the liveness tracker has declared DEAD: excluded from
         #: selection, fan-out, and switch targets until they hello back.
         self._dead_aps: Set[str] = set()
@@ -101,6 +150,9 @@ class WgttController:
         #: the neighbours that heard the client ~100 ms ago are still
         #: by far the best guess for where it is.
         self._last_heard: Dict[str, Dict[str, Tuple[int, float]]] = {}
+        #: serving-claim(client) received before the client's sta-sync
+        #: (cold-restart resync): applied at registration time.
+        self._pending_claims: Dict[str, str] = {}
 
         #: Delivered (de-duplicated) uplink datagrams go here.
         self.on_uplink: Callable[[Packet], None] = lambda packet: None
@@ -126,6 +178,15 @@ class WgttController:
             "failovers_initiated": 0,
             "failover_no_candidate": 0,
             "csi_dropped_dead_ap": 0,
+            "downlink_paced": 0,
+            "backpressure_on": 0,
+            "backpressure_off": 0,
+            "cursor_fast_forwards": 0,
+            "controller_crashes": 0,
+            "controller_restarts": 0,
+            "clients_departed": 0,
+            "ctrl_heartbeats_sent": 0,
+            "serving_claims": 0,
         }
         backhaul.register(controller_id, self._on_backhaul)
 
@@ -156,18 +217,54 @@ class WgttController:
         """Install a client (from sta-sync replication or directly)."""
         self.directory.admit(info)
         if info.client not in self._clients:
+            serving = self._pending_claims.pop(info.client, info.first_ap)
             self._clients[info.client] = ClientState(
-                info.client, info.first_ap, self._sim.now
+                info.client, serving, self._sim.now
             )
-            self._publish_serving(info.client, info.first_ap)
+            self._publish_serving(info.client, serving)
             self._start_selection_loop(info.client)
 
-    def _start_selection_loop(self, client_id: str) -> None:
+    def deregister_client(self, client_id: str) -> None:
+        """Client departure: free every per-client resource.
+
+        Closes the unbounded-growth holes a transit system would
+        otherwise accumulate over millions of one-ride commuters — the
+        :class:`IndexAllocator` cursor, the selection windows, the
+        last-heard cache, the selection/retry timers — and tells every
+        AP to drop the client's cyclic queue and serving duty.
+        """
+        state = self._clients.pop(client_id, None)
+        if state is None:
+            return
+        self.stats["clients_departed"] += 1
+        timer = self._selection_timers.pop(client_id, None)
+        if timer is not None:
+            timer.stop()
+        retry = self._retry_timers.pop(client_id, None)
+        if retry is not None:
+            retry.stop()
+        if self.coordinator.busy(client_id):
+            self.coordinator.abort(client_id, reason="client departed")
+        self.directory.remove(client_id)
+        self.selector.forget_client(client_id)
+        self._index_alloc.forget_client(client_id)
+        self._last_heard.pop(client_id, None)
+        self._pending_claims.pop(client_id, None)
+        for ap in sorted(self._ap_ids):
+            self._backhaul.send_control(
+                self.controller_id, ap, "client-departed", client_id
+            )
+
+    def _start_selection_loop(
+        self, client_id: str, first_deadline_us: Optional[int] = None
+    ) -> None:
         """Periodic AP-selection evaluation for one client.
 
         Running on a fixed period (rather than on CSI arrival) means
         every decision sees the complete window of reports, not just
-        whichever AP's report happened to arrive first.
+        whichever AP's report happened to arrive first.  Restore passes
+        ``first_deadline_us`` so a restored controller's loop stays in
+        phase with the original's.
         """
         period = self._config.selection_period_us
 
@@ -176,12 +273,21 @@ class WgttController:
             timer.start(period)
 
         timer = Timer(self._sim, tick)
-        timer.start(period)
+        self._selection_timers[client_id] = timer
+        if first_deadline_us is None:
+            timer.start(period)
+        else:
+            timer.start_at(first_deadline_us)
 
     def _publish_serving(self, client_id: str, ap_id: str) -> None:
         self.serving_timeline.append((self._sim.now, client_id, ap_id))
         self.on_serving_update(client_id, ap_id)
-        for ap in sorted(self._ap_ids):
+        targets = sorted(self._ap_ids)
+        if self.ha_peer is not None:
+            # Mirror to the warm standby: serving updates are part of
+            # the event feed that keeps it current between checkpoints.
+            targets.append(self.ha_peer)
+        for ap in targets:
             self._backhaul.send_control(
                 self.controller_id, ap, "serving-update", (client_id, ap_id)
             )
@@ -192,10 +298,20 @@ class WgttController:
 
     def accept_downlink(self, packet: Packet) -> None:
         """Entry point for server traffic headed to a client."""
+        if not self.alive:
+            return  # a crashed controller accepts nothing
         client_id = packet.dst
         state = self._clients.get(client_id)
         if state is None:
             self.stats["downlink_unassociated"] += 1
+            return
+        if state.paced:
+            # The serving AP's cyclic queue is near its wrap point:
+            # admitting more fan-out would race the 12-bit index space
+            # into the undelivered backlog (silent overwrites).  Drop
+            # here instead — explicit, counted, and recoverable by the
+            # transport — until the AP clears the signal.
+            self.stats["downlink_paced"] += 1
             return
         self.stats["downlink_accepted"] += 1
         index = self._index_alloc.allocate(client_id)
@@ -225,6 +341,8 @@ class WgttController:
     # ------------------------------------------------------------------
 
     def _on_backhaul(self, src: str, kind: str, payload: object) -> None:
+        if not self.alive:
+            return  # backhaul already drops these; defense in depth
         if kind == "csi":
             self._handle_csi(payload)
         elif kind == "uplink":
@@ -238,6 +356,50 @@ class WgttController:
             self.liveness.beat(src)
         elif kind == "ap-hello":
             self._ap_rejoined(src)
+        elif kind == "backpressure":
+            self._handle_backpressure(src, payload)
+        elif kind == "serving-claim":
+            self._handle_serving_claim(src, payload)
+        elif kind == "edge-report":
+            self._handle_edge_report(src, payload)
+
+    def _handle_edge_report(self, src: str, payload: object) -> None:
+        """Re-home cursor resync: an AP's per-client cyclic write edges.
+
+        A promoted standby restored its :class:`IndexAllocator` from a
+        checkpoint up to one shipping interval stale; re-using indices
+        the dead primary already allocated would overwrite undelivered
+        cyclic-queue slots.  Each re-homing AP reports its write edges
+        and the cursors fast-forward (never backwards) to cover them.
+        """
+        for client_id, edge in sorted(payload.items()):
+            if self._index_alloc.fast_forward(client_id, int(edge)):
+                self.stats["cursor_fast_forwards"] += 1
+
+    def _handle_backpressure(self, src: str, payload: object) -> None:
+        """Serving-AP overload signal: pace/resume one client's fan-out."""
+        client_id, engaged = payload
+        state = self._clients.get(client_id)
+        if state is None or src != state.serving_ap:
+            return  # stale signal from a former serving AP
+        if engaged and not state.paced:
+            state.paced = True
+            self.stats["backpressure_on"] += 1
+        elif not engaged and state.paced:
+            state.paced = False
+            self.stats["backpressure_off"] += 1
+
+    def _handle_serving_claim(self, src: str, client_id: str) -> None:
+        """Cold-restart resync: the AP actually serving ``client_id``
+        corrects the restarted controller's first-AP guess."""
+        self.stats["serving_claims"] += 1
+        state = self._clients.get(client_id)
+        if state is None:
+            self._pending_claims[client_id] = src
+            return
+        if state.serving_ap != src and src in self._ap_ids:
+            state.serving_ap = src
+            self._publish_serving(client_id, src)
 
     def _handle_csi(self, report: CsiReport) -> None:
         if report.ap_id in self._dead_aps:
@@ -295,6 +457,10 @@ class WgttController:
         if state is not None:
             state.serving_ap = record.to_ap
             state.degraded_since = None
+            # Pacing was the *old* serving AP's signal; the new one's
+            # queue state is unknown (and its backlog was just advanced
+            # past), so resume and let it re-signal if needed.
+            state.paced = False
         self._publish_serving(record.client, record.to_ap)
 
     def _switch_aborted(self, record: SwitchRecord) -> None:
@@ -432,24 +598,148 @@ class WgttController:
                 best = (esnr_db, ap_id)
         return best[1] if best else None
 
-    def _schedule_failover_retry(self, client_id: str) -> None:
+    def _schedule_failover_retry(
+        self, client_id: str, deadline_us: Optional[int] = None
+    ) -> None:
         state = self._clients.get(client_id)
-        if state is None or state.failover_retry_pending:
+        if state is None or (
+            state.failover_retry_pending and deadline_us is None
+        ):
             return
         state.failover_retry_pending = True
+        timer = Timer(
+            self._sim, lambda: self._failover_retry_fired(client_id)
+        )
+        self._retry_timers[client_id] = timer
+        if deadline_us is None:
+            timer.start(self._config.selection_period_us)
+        else:
+            timer.start_at(deadline_us)
 
-        def retry():
-            current = self._clients.get(client_id)
-            if current is None:
-                return
-            current.failover_retry_pending = False
-            if (
-                current.serving_ap in self._dead_aps
-                and not self.coordinator.busy(client_id)
-            ):
-                self._emergency_failover(client_id, current.serving_ap)
+    def _failover_retry_fired(self, client_id: str) -> None:
+        self._retry_timers.pop(client_id, None)
+        if not self.alive:
+            return
+        current = self._clients.get(client_id)
+        if current is None:
+            return
+        current.failover_retry_pending = False
+        if (
+            current.serving_ap in self._dead_aps
+            and not self.coordinator.busy(client_id)
+        ):
+            self._emergency_failover(client_id, current.serving_ap)
 
-        self._sim.schedule(self._config.selection_period_us, retry)
+    # ------------------------------------------------------------------
+    # controller crash / restart / HA plumbing
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fault injection: the controller process dies.
+
+        Every timer stops (a dead box retransmits nothing), the backhaul
+        endpoint goes dark, and all **volatile** protocol state is lost —
+        exactly what a process kill destroys: selection windows, client
+        table, index cursors, in-flight handshakes, the dedup window, the
+        liveness table.  Durable observability (``stats``,
+        ``serving_timeline``, switch ``history``) survives, as a real
+        deployment's external metrics pipeline would.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.stats["controller_crashes"] += 1
+        for timer in self._selection_timers.values():
+            timer.stop()
+        self._selection_timers.clear()
+        for timer in self._retry_timers.values():
+            timer.stop()
+        self._retry_timers.clear()
+        self._ctrl_heartbeat_timer.stop()
+        self.coordinator.halt()
+        self.coordinator.restore(
+            {
+                "next_switch_id": 1,
+                "abandoned": self.coordinator.abandoned,
+                "aborted": self.coordinator.aborted,
+                "pending": {},
+                "history": [
+                    r.to_state() for r in self.coordinator.history
+                ],
+            }
+        )
+        self.liveness.stop()
+        self.liveness.restore(
+            {
+                "last_beat": {},
+                "dead": [],
+                "events": [list(e) for e in self.liveness.events],
+                "check_deadline_us": None,
+            }
+        )
+        self.selector.restore({})
+        self.dedup.restore(
+            {
+                "capacity": self.dedup.snapshot()["capacity"],
+                "keys": [],
+                "accepted": self.dedup.accepted,
+                "duplicates": self.dedup.duplicates,
+            }
+        )
+        self.directory = AssociationDirectory()
+        self._index_alloc = IndexAllocator(self._config.cyclic_queue_size)
+        self._clients.clear()
+        self._dead_aps.clear()
+        self._last_heard.clear()
+        self._pending_claims.clear()
+        self._backhaul.set_node_down(self.controller_id, True)
+
+    def restart(self) -> None:
+        """Cold restart after :meth:`crash` — empty-state boot.
+
+        The backhaul endpoint comes back and (unless this node was
+        demoted to standby by the HA cluster) the controller broadcasts
+        ``ctrl-hello`` so every AP replays its association table and
+        claims the clients it is actually serving (§4.3 sta-sync, plus
+        the serving-claim resync this repo adds).
+        """
+        if self.alive:
+            return
+        self.alive = True
+        self.stats["controller_restarts"] += 1
+        self._backhaul.set_node_down(self.controller_id, False)
+        if self.hello_on_restart:
+            for ap in sorted(self._ap_ids):
+                self._backhaul.send_control(
+                    self.controller_id, ap, "ctrl-hello", None
+                )
+        self.on_restart()
+
+    def start_ctrl_heartbeats(self) -> None:
+        """Begin periodic controller→AP heartbeats (HA mode only)."""
+        interval = self._config.controller_heartbeat_interval_us
+        if interval <= 0 or self._ctrl_heartbeat_timer.armed:
+            return
+        self._ctrl_heartbeat_timer.start(interval)
+
+    def stop_ctrl_heartbeats(self) -> None:
+        self._ctrl_heartbeat_timer.stop()
+
+    def _ctrl_heartbeat_tick(self) -> None:
+        if not self.alive:
+            return
+        self.stats["ctrl_heartbeats_sent"] += 1
+        for ap in sorted(self._ap_ids):
+            self._backhaul.send_control(
+                self.controller_id, ap, "ctrl-heartbeat", None
+            )
+        if self.ha_peer is not None:
+            self._backhaul.send_control(
+                self.controller_id, self.ha_peer, "ctrl-heartbeat", None
+            )
+        self._ctrl_heartbeat_timer.start(
+            self._config.controller_heartbeat_interval_us
+        )
 
     # ------------------------------------------------------------------
     # statistics

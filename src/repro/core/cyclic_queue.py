@@ -37,6 +37,11 @@ class CyclicQueue:
         self._started = False
         self.overwrites = 0
         self.stale_dropped = 0
+        #: Undelivered (pending) slots that were overwritten because the
+        #: writer lapped the reader — real data loss, accounted here so
+        #: it is never silent.  Stale previous-lap overwrites (the
+        #: benign case at non-serving APs) stay in ``overwrites`` only.
+        self.overflow_drops = 0
 
     @property
     def head(self) -> int:
@@ -63,10 +68,24 @@ class CyclicQueue:
             return self.size
         return span
 
+    def pending_span(self) -> int:
+        """Public alias for the head→edge span (backpressure input)."""
+        return self._pending_span()
+
     def insert(self, index: int, packet: Packet) -> None:
-        """Store a packet at its controller-assigned index."""
+        """Store a packet at its controller-assigned index.
+
+        Overwriting an occupied slot is legal — the 12-bit index space
+        wraps — but overwriting a slot the reader has *not yet served*
+        (inside the head→edge span) destroys undelivered data.  That
+        case is counted in ``overflow_drops`` so overload is explicit,
+        never silent; the backpressure guardrail exists to keep the
+        serving AP's span from ever getting there.
+        """
         index %= self.size
         if index in self._slots:
+            if self._distance(self._head, index) < self._pending_span():
+                self.overflow_drops += 1
             self.overwrites += 1
         self._slots[index] = packet
         advance = self._distance(self._edge, index)
@@ -174,3 +193,63 @@ class IndexAllocator:
 
     def peek(self, client_id: str) -> int:
         return self._next.get(client_id, 0)
+
+    def forget_client(self, client_id: str) -> None:
+        """Free a departed client's cursor.
+
+        Mirrors :meth:`ApSelector.forget_ap`: without this, every
+        client that ever received a downlink packet pins a dict entry
+        forever — unbounded growth on a transit system serving millions
+        of one-ride commuters.
+        """
+        self._next.pop(client_id, None)
+
+    def tracked_clients(self) -> int:
+        """Live cursor count — the memory-bound invariant tests assert."""
+        return len(self._next)
+
+    def skid(self, amount: int) -> None:
+        """Advance every cursor by ``amount`` index positions.
+
+        A promoted standby restores cursors from a checkpoint that may
+        be a whole shipping interval stale; the dead primary kept
+        allocating past them.  Skipping ahead guarantees no allocated
+        index is re-used — the cyclic queues treat the skipped span as
+        an ordinary fan-out gap (readers skip gaps by design), so the
+        margin costs nothing but index space.
+        """
+        if amount <= 0:
+            return
+        self._next = {
+            client: (value + amount) % self.size
+            for client, value in self._next.items()
+        }
+
+    def fast_forward(self, client_id: str, edge: int) -> bool:
+        """Advance one cursor to ``edge`` if that is forward progress.
+
+        ``edge`` is an AP's cyclic-queue write edge (one past the
+        newest index it holds) from an ``edge-report``.  Moves the
+        cursor only if the edge is *ahead* within half the ring —
+        behind-or-equal reports (from APs that missed recent fan-outs)
+        and wrapped ancient values are ignored, so replayed or
+        reordered reports can never move a cursor backwards.
+        """
+        edge %= self.size
+        current = self._next.get(client_id, 0)
+        ahead = (edge - current) % self.size
+        if 0 < ahead < self.size // 2:
+            self._next[client_id] = edge
+            return True
+        return False
+
+    # -- checkpoint support -------------------------------------------
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._next)
+
+    def restore(self, cursors: Dict[str, int]) -> None:
+        self._next = {
+            client: int(value) % self.size
+            for client, value in cursors.items()
+        }

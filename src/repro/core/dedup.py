@@ -50,3 +50,26 @@ class PacketDeduplicator:
     def duplicate_ratio(self) -> float:
         total = self.accepted + self.duplicates
         return self.duplicates / total if total else 0.0
+
+    # -- checkpoint support -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """FIFO-ordered key list + counters, for controller checkpoints.
+
+        Shipping the window to the warm standby is what bounds
+        duplicate leakage across a controller failover: copies of a
+        datagram the dead primary already forwarded are recognised by
+        the promoted standby instead of re-forwarded upstream.
+        """
+        return {
+            "capacity": self._capacity,
+            "keys": list(self._seen),
+            "accepted": self.accepted,
+            "duplicates": self.duplicates,
+        }
+
+    def restore(self, state: dict) -> None:
+        self._capacity = int(state["capacity"])
+        self._seen = OrderedDict((int(k), None) for k in state["keys"])
+        self.accepted = int(state["accepted"])
+        self.duplicates = int(state["duplicates"])

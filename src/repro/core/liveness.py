@@ -86,6 +86,46 @@ class ApLivenessTracker:
         self._last_beat.pop(ap_id, None)
         self._dead.discard(ap_id)
 
+    def stop(self) -> None:
+        """Disarm the periodic check (controller crash / teardown)."""
+        self._check_timer.stop()
+
+    def reset_clock(self, now_us: int) -> None:
+        """Refresh every tracked AP's last-beat to ``now_us``.
+
+        A promoted standby calls this: its checkpointed beat times are
+        up to a checkpoint interval + an outage old, and judging them
+        against the post-promotion clock would mass-declare the whole
+        healthy array dead.  APs stay innocent until a fresh silent
+        period proves otherwise.  Already-DEAD APs stay dead — only a
+        real beat or hello revives them.
+        """
+        for ap_id in self._last_beat:
+            if ap_id not in self._dead:
+                self._last_beat[ap_id] = now_us
+
+    # -- checkpoint support -------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "last_beat": dict(self._last_beat),
+            "dead": sorted(self._dead),
+            "events": [list(e) for e in self.events],
+            "check_deadline_us": self._check_timer.deadline_us,
+        }
+
+    def restore(self, state: dict) -> None:
+        self._last_beat = {
+            ap: int(t) for ap, t in state["last_beat"].items()
+        }
+        self._dead = set(state["dead"])
+        self.events = [tuple(e) for e in state["events"]]
+        deadline = state["check_deadline_us"]
+        if deadline is None:
+            self._check_timer.stop()
+        else:
+            self._check_timer.start_at(int(deadline))
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------

@@ -222,3 +222,41 @@ class ApSelector:
                 empty_clients.append(client_id)
         for client_id in empty_clients:
             del self._readings[client_id]
+
+    # -- checkpoint support -------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
+        """Arrival-ordered window entries per live (client, AP) series.
+
+        Only ``entries`` is captured; ``sorted_values`` is the same
+        multiset in value order and is rebuilt exactly on restore.
+        """
+        return {
+            client_id: {
+                ap_id: list(window.entries)
+                for ap_id, window in per_client.items()
+            }
+            for client_id, per_client in self._readings.items()
+        }
+
+    def restore(
+        self, state: Dict[str, Dict[str, List[Tuple[int, float]]]]
+    ) -> None:
+        """Rebuild every window from a snapshot (lossless: the rebuilt
+        ``sorted_values`` equals the incrementally maintained one —
+        both are the sorted multiset of the entries)."""
+        readings: Dict[str, Dict[str, _Window]] = {}
+        for client_id, per_client in state.items():
+            rebuilt: Dict[str, _Window] = {}
+            for ap_id, entries in per_client.items():
+                if not entries:
+                    continue
+                window = _Window()
+                window.entries = deque(
+                    (int(t), float(v)) for t, v in entries
+                )
+                window.sorted_values = sorted(v for _, v in window.entries)
+                rebuilt[ap_id] = window
+            if rebuilt:
+                readings[client_id] = rebuilt
+        self._readings = readings

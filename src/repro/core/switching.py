@@ -105,6 +105,25 @@ class SwitchRecord:
             return None
         return self.completed_us - self.started_us
 
+    # -- checkpoint support -------------------------------------------
+
+    def to_state(self) -> dict:
+        return {
+            "client": self.client,
+            "from_ap": self.from_ap,
+            "to_ap": self.to_ap,
+            "started_us": self.started_us,
+            "completed_us": self.completed_us,
+            "retries": self.retries,
+            "outcome": self.outcome,
+            "failover": self.failover,
+            "abort_reason": self.abort_reason,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SwitchRecord":
+        return cls(**state)
+
 
 @dataclass
 class _Pending:
@@ -283,6 +302,67 @@ class SwitchCoordinator:
             self._send_failover(pending)
         else:
             self._send_stop(pending)
+
+    # -- crash / checkpoint support --------------------------------------
+
+    def halt(self) -> None:
+        """Controller crash: freeze every pending handshake in place.
+
+        Timers stop (a dead controller retransmits nothing) but the
+        pending records are *kept* — they are part of the state a
+        restore re-arms, and a restarted controller resumes the
+        retransmission clocks from its checkpoint.
+        """
+        for pending in self._pending.values():
+            pending.timer.stop()
+
+    def snapshot(self) -> dict:
+        return {
+            "next_switch_id": self._next_switch_id,
+            "abandoned": self.abandoned,
+            "aborted": self.aborted,
+            "pending": {
+                client_id: {
+                    "record": pending.record.to_state(),
+                    "switch_id": pending.switch_id,
+                    "deadline_us": pending.timer.deadline_us,
+                }
+                for client_id, pending in self._pending.items()
+            },
+            "history": [record.to_state() for record in self.history],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rebuild pending handshakes and history from a snapshot.
+
+        Each pending switch's retransmission timer is re-armed at its
+        checkpointed absolute deadline (clamped to now), so a restored
+        controller retransmits at the same instants the original would
+        have — the bit-identical-continuation property test holds the
+        coordinator to this.
+        """
+        for pending in self._pending.values():
+            pending.timer.stop()
+        self._pending = {}
+        self._next_switch_id = int(state["next_switch_id"])
+        self.abandoned = int(state["abandoned"])
+        self.aborted = int(state["aborted"])
+        self.history = [
+            SwitchRecord.from_state(record) for record in state["history"]
+        ]
+        for client_id in sorted(state["pending"]):
+            entry = state["pending"][client_id]
+            record = SwitchRecord.from_state(entry["record"])
+            pending = _Pending(
+                record=record, switch_id=int(entry["switch_id"])
+            )
+            pending.timer = Timer(
+                self._sim, lambda c=client_id: self._timeout(c)
+            )
+            self._pending[client_id] = pending
+            deadline = entry["deadline_us"]
+            if deadline is not None:
+                pending.timer.start_at(int(deadline))
 
     # -- statistics ------------------------------------------------------
 

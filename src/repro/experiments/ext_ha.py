@@ -1,0 +1,225 @@
+"""Extension experiment: controller-kill sweep under warm-standby HA.
+
+The paper's §6 notes the central controller is the obvious single point
+of failure of the WGTT architecture; this experiment measures what the
+HA subsystem (:mod:`repro.ha`) buys.  A mid-drive controller kill is
+injected while a UDP downlink flow runs, for each checkpoint interval
+in the sweep, and each cell reports
+
+* **recovery latency** — kill instant → every client registered at the
+  promoted standby with a live serving AP (detection lag + promotion +
+  re-publication), from :class:`~repro.metrics.recorder.HaAudit`;
+* **duplicate leakage** — uplink copies the server saw twice across the
+  failover (the shipped dedup window should keep this near zero), plus
+  the post-restore duplicates the window *caught*;
+* **packets lost** — downlink datagrams that arrived at ingress while
+  no controller was active (explicitly counted, never silent), and
+  cyclic-queue ``overflow_drops`` (must stay zero — the backlog the
+  standby's takeover resumes from is intact).
+
+``main()`` exposes ``--smoke`` for CI: one controller kill at t = 2 s,
+asserting promotion, full client recovery within 250 ms of the kill,
+zero cyclic-queue overflow loss, post-failover delivery progress, and
+accounted duplicates (nonzero exit on violation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.core.config import WgttConfig
+from repro.experiments.common import mean, seeds_for
+from repro.experiments.runner import run_grid
+from repro.faults.plan import ControllerCrash, FaultPlan
+from repro.metrics.recorder import FailoverAudit, HaAudit
+from repro.scenarios.testbed import TestbedConfig, build_testbed
+from repro.sim.engine import MS, SECOND
+
+#: Checkpoint shipping intervals to sweep (ms).
+CHECKPOINT_INTERVALS_MS = (25, 100, 400)
+#: When the controller dies, relative to run start.
+KILL_AT_US = 2 * SECOND
+#: Recovery budget the smoke asserts (kill → all clients recovered).
+SMOKE_RECOVERY_BUDGET_US = 250 * MS
+
+
+def _ha_config(checkpoint_interval_ms: int) -> WgttConfig:
+    return WgttConfig(
+        ha_enabled=True,
+        checkpoint_interval_us=checkpoint_interval_ms * MS,
+    )
+
+
+def run_cell(
+    seed: int,
+    checkpoint_interval_ms: int,
+    duration_s: float = 5.0,
+    kill_at_us: int = KILL_AT_US,
+) -> Dict:
+    """One controller-kill run at one checkpoint interval."""
+    plan = FaultPlan([ControllerCrash(at_us=kill_at_us, down_us=None)])
+    config = TestbedConfig(
+        seed=seed,
+        scheme="wgtt",
+        wgtt=_ha_config(checkpoint_interval_ms),
+        fault_plan=plan,
+    )
+    testbed = build_testbed(config)
+    source, sink = testbed.add_downlink_udp_flow(0, rate_bps=4e6)
+    source.start()
+    uplink_sender, _ = testbed.add_uplink_tcp_flow(0)
+    uplink_sender.start()
+    testbed.run_seconds(duration_s)
+
+    audit = HaAudit(testbed)
+    summary = audit.summary()
+    return {
+        "seed": seed,
+        "checkpoint_interval_ms": checkpoint_interval_ms,
+        "promoted": summary["promoted"],
+        "promotion_latency_ms": summary["promotion_latency_ms"],
+        "recovery_latency_ms": summary["recovery_latency_ms"],
+        "clients_recovered": summary["clients_recovered"],
+        "lost_downlink": summary["lost_downlink"],
+        "overflow_drops": summary["overflow_drops"],
+        "duplicates_at_server": sink.duplicates,
+        "post_restore_duplicates": summary["post_restore_duplicates"],
+        "checkpoints_shipped": summary["checkpoints_shipped"],
+        "checkpoint_bytes": summary["checkpoint_bytes"],
+        "delivered": len(sink.arrivals),
+        "sent": source.packets_sent,
+    }
+
+
+def run(quick: bool = True, jobs: Optional[int] = None) -> Dict:
+    seeds = seeds_for(quick)
+    duration_s = 5.0 if quick else 8.0
+    grid = [
+        (seed, interval_ms, duration_s)
+        for interval_ms in CHECKPOINT_INTERVALS_MS
+        for seed in seeds
+    ]
+    results = iter(run_grid(run_cell, grid, jobs=jobs))
+    rows: List[Dict] = []
+    for interval_ms in CHECKPOINT_INTERVALS_MS:
+        cells = [next(results) for _ in seeds]
+        recoveries = [
+            c["recovery_latency_ms"]
+            for c in cells
+            if c["recovery_latency_ms"] is not None
+        ]
+        rows.append(
+            {
+                "checkpoint_interval_ms": interval_ms,
+                "promoted": sum(1 for c in cells if c["promoted"]),
+                "runs": len(cells),
+                "mean_recovery_ms": mean(recoveries) if recoveries else None,
+                "max_recovery_ms": max(recoveries) if recoveries else None,
+                "lost_downlink": sum(c["lost_downlink"] for c in cells),
+                "overflow_drops": sum(c["overflow_drops"] for c in cells),
+                "duplicates_at_server": sum(
+                    c["duplicates_at_server"] for c in cells
+                ),
+                "post_restore_duplicates": sum(
+                    c["post_restore_duplicates"] for c in cells
+                ),
+                "mean_checkpoint_bytes": mean(
+                    c["checkpoint_bytes"] / max(1, c["checkpoints_shipped"])
+                    for c in cells
+                ),
+            }
+        )
+    return {"rows": rows}
+
+
+# ----------------------------------------------------------------------
+# CI smoke: one deterministic controller kill, hard pass/fail
+# ----------------------------------------------------------------------
+
+
+def run_smoke(seed: int = 3) -> Dict:
+    """Kill the controller at t = 2 s; fail unless the standby promotes
+    and every client recovers within the 250 ms budget with zero
+    cyclic-queue overflow loss and accounted duplicates."""
+    plan = FaultPlan([ControllerCrash(at_us=KILL_AT_US, down_us=None)])
+    config = TestbedConfig(
+        seed=seed,
+        scheme="wgtt",
+        wgtt=_ha_config(checkpoint_interval_ms=100),
+        fault_plan=plan,
+    )
+    testbed = build_testbed(config)
+    source, sink = testbed.add_downlink_udp_flow(0, rate_bps=4e6)
+    source.start()
+
+    # Run past the kill by exactly the recovery budget and check the
+    # control plane is whole again.
+    testbed.run_until(KILL_AT_US + SMOKE_RECOVERY_BUDGET_US)
+    ha_audit = HaAudit(testbed)
+    promoted_in_budget = testbed.standby.promoted
+    recovered_in_budget = ha_audit.clients_recovered()
+    delivered_at_budget = len(sink.arrivals)
+
+    # Then run out the drive to measure post-failover delivery.
+    testbed.run_seconds(1.5)
+    summary = ha_audit.summary()
+    failover_summary = FailoverAudit(testbed).summary()
+    progressed = len(sink.arrivals) > delivered_at_budget
+
+    # Every ingress datagram is either delivered, explicitly lost at
+    # ingress (no active controller / paced), or still in flight —
+    # cyclic-queue overwrites of undelivered slots must never eat one.
+    overflow_ok = summary["overflow_drops"] == 0
+    dup_accounted = sink.duplicates == 0
+
+    ok = (
+        promoted_in_budget
+        and recovered_in_budget
+        and summary["clients_recovered"]
+        and overflow_ok
+        and progressed
+        and dup_accounted
+    )
+    return {
+        "ok": ok,
+        "kill_us": KILL_AT_US,
+        "recovery_budget_ms": SMOKE_RECOVERY_BUDGET_US / 1_000.0,
+        "promoted_in_budget": promoted_in_budget,
+        "recovered_in_budget": recovered_in_budget,
+        "promotion_latency_ms": summary["promotion_latency_ms"],
+        "recovery_latency_ms": summary["recovery_latency_ms"],
+        "overflow_drops": summary["overflow_drops"],
+        "lost_downlink": summary["lost_downlink"],
+        "duplicates_at_server": sink.duplicates,
+        "post_restore_duplicates": summary["post_restore_duplicates"],
+        "post_failover_progress": progressed,
+        "ha_summary": summary,
+        "failover_summary": failover_summary,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ext_ha",
+        description="controller-kill sweep under warm-standby HA",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="one controller kill; exit 1 on violation")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--full", action="store_true")
+    parser.add_argument("--jobs", type=int, default=1)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        result = run_smoke(seed=args.seed)
+        print(json.dumps(result, indent=2, default=str))
+        return 0 if result["ok"] else 1
+    result = run(quick=not args.full, jobs=args.jobs)
+    print(json.dumps(result, indent=2, default=str))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -18,7 +18,15 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.faults.plan import ApCrash, CsiBlackout, FaultPlan, LinkJitter, Partition
+from repro.faults.plan import (
+    ApCrash,
+    ControllerCrash,
+    ControllerRestart,
+    CsiBlackout,
+    FaultPlan,
+    LinkJitter,
+    Partition,
+)
 
 
 class FaultInjector:
@@ -33,6 +41,19 @@ class FaultInjector:
         if aps is None:
             aps = getattr(testbed, "aps", {})
         self.aps: Dict[str, object] = aps
+        #: Controllers addressable by ControllerCrash/ControllerRestart.
+        #: Duck-typed like the APs: anything with alive/crash()/restart().
+        self.controllers: Dict[str, object] = {}
+        controller = getattr(testbed, "controller", None)
+        if controller is not None:
+            self.controllers[
+                getattr(controller, "controller_id", "controller")
+            ] = controller
+        standby = getattr(testbed, "standby", None)
+        if standby is not None:
+            self.controllers[
+                getattr(standby, "controller_id", "controller-b")
+            ] = standby
         #: (time_us, action, subject) — the executed fault trace.
         #: Actions: crash / restart / partition / heal / jitter-on /
         #: jitter-off / csi-off / csi-on.
@@ -59,6 +80,13 @@ class FaultInjector:
                 self.sim.schedule(delay, lambda e=event: self._jitter_on(e))
             elif isinstance(event, CsiBlackout):
                 self.sim.schedule(delay, lambda e=event: self._csi_off(e))
+            elif isinstance(event, ControllerCrash):
+                self.sim.schedule(delay, lambda e=event: self._ctrl_crash(e))
+            elif isinstance(event, ControllerRestart):
+                self.sim.schedule(
+                    delay,
+                    lambda e=event: self._ctrl_restart(e.controller_id),
+                )
             else:  # pragma: no cover - plan types are closed
                 raise TypeError(f"unknown fault event {event!r}")
 
@@ -132,6 +160,34 @@ class FaultInjector:
         self._log("csi-on", ap_id)
         ap.csi_suppressed = False
 
+    def _controller(self, controller_id: str):
+        try:
+            return self.controllers[controller_id]
+        except KeyError:
+            raise KeyError(
+                f"fault plan names unknown controller {controller_id!r}; "
+                f"known: {sorted(self.controllers)}"
+            ) from None
+
+    def _ctrl_crash(self, event: ControllerCrash) -> None:
+        controller = self._controller(event.controller_id)
+        if not getattr(controller, "alive", True):
+            return  # already down (overlapping crash events)
+        self._log("ctrl-crash", event.controller_id)
+        controller.crash()
+        if event.down_us is not None:
+            self.sim.schedule(
+                event.down_us,
+                lambda: self._ctrl_restart(event.controller_id),
+            )
+
+    def _ctrl_restart(self, controller_id: str) -> None:
+        controller = self._controller(controller_id)
+        if getattr(controller, "alive", True):
+            return  # already restarted
+        self._log("ctrl-restart", controller_id)
+        controller.restart()
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
@@ -139,6 +195,10 @@ class FaultInjector:
     def crash_times(self) -> List[Tuple[int, str]]:
         """(time_us, ap_id) for each executed crash, in order."""
         return [(t, s) for (t, a, s) in self.events if a == "crash"]
+
+    def controller_crash_times(self) -> List[Tuple[int, str]]:
+        """(time_us, controller_id) per executed controller crash."""
+        return [(t, s) for (t, a, s) in self.events if a == "ctrl-crash"]
 
     def trace_lines(self) -> List[str]:
         """Canonical one-line-per-event rendering (for byte comparison)."""

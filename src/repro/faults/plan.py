@@ -32,6 +32,17 @@ Event types
     AP ``ap_id`` stops producing CSI reports for ``duration_us`` —
     the controller's view of that cell goes stale without the AP
     itself failing.
+
+``ControllerCrash``
+    The controller process dies at ``at_us`` (volatile state lost,
+    backhaul endpoint dark) and — unless ``down_us`` is ``None`` —
+    restarts ``down_us`` later.  With an HA cluster armed the warm
+    standby detects the silence and promotes itself; without one the
+    restarted controller resyncs cold via ``ctrl-hello``.
+
+``ControllerRestart``
+    Explicitly restart a (crashed) controller at ``at_us`` — for plans
+    that separate the crash and the repair.
 """
 
 from __future__ import annotations
@@ -42,7 +53,14 @@ from typing import FrozenSet, List, Optional, Sequence, Tuple, Union
 from repro.sim.rng import RngRegistry
 
 #: Union of every fault-event type a plan may hold.
-FaultEvent = Union["ApCrash", "Partition", "LinkJitter", "CsiBlackout"]
+FaultEvent = Union[
+    "ApCrash",
+    "Partition",
+    "LinkJitter",
+    "CsiBlackout",
+    "ControllerCrash",
+    "ControllerRestart",
+]
 
 
 @dataclass(frozen=True)
@@ -115,15 +133,53 @@ class CsiBlackout:
             raise ValueError("duration_us must be positive")
 
 
+@dataclass(frozen=True)
+class ControllerCrash:
+    """Controller ``controller_id`` crashes at ``at_us``."""
+
+    at_us: int
+    controller_id: str = "controller"
+    #: Downtime before restart; ``None`` means it never comes back
+    #: unaided (an HA standby may still take over).
+    down_us: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0:
+            raise ValueError("at_us must be non-negative")
+        if self.down_us is not None and self.down_us <= 0:
+            raise ValueError("down_us must be positive (or None)")
+
+
+@dataclass(frozen=True)
+class ControllerRestart:
+    """Restart a crashed controller at ``at_us``."""
+
+    at_us: int
+    controller_id: str = "controller"
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0:
+            raise ValueError("at_us must be non-negative")
+
+
 def _sort_key(event: FaultEvent) -> Tuple[int, int, str]:
     """Deterministic total order: time, then type rank, then identity."""
-    rank = {ApCrash: 0, Partition: 1, LinkJitter: 2, CsiBlackout: 3}
+    rank = {
+        ApCrash: 0,
+        Partition: 1,
+        LinkJitter: 2,
+        CsiBlackout: 3,
+        ControllerCrash: 4,
+        ControllerRestart: 5,
+    }
     if isinstance(event, ApCrash):
         ident = event.ap_id
     elif isinstance(event, Partition):
         ident = ",".join(sorted(event.side_a)) + "|" + ",".join(sorted(event.side_b))
     elif isinstance(event, LinkJitter):
         ident = f"{event.src}->{event.dst}"
+    elif isinstance(event, (ControllerCrash, ControllerRestart)):
+        ident = event.controller_id
     else:
         ident = event.ap_id
     return (event.at_us, rank[type(event)], ident)
@@ -164,6 +220,8 @@ class FaultPlan:
         jitter_duration_us: int = 500_000,
         csi_blackout_rate_per_s: float = 0.0,
         csi_blackout_duration_us: int = 500_000,
+        controller_crash_rate_per_s: float = 0.0,
+        controller_crash_down_us: Optional[int] = 1_000_000,
         controller_id: str = "controller",
     ) -> "FaultPlan":
         """Draw a plan from named rng streams (``faults/...``).
@@ -230,6 +288,18 @@ class FaultPlan:
                 )
             )
 
+        # Controller crash ----------------------------------------------
+        for at_us in _arrival_times(
+            "faults/ctrl-crashes", controller_crash_rate_per_s
+        ):
+            events.append(
+                ControllerCrash(
+                    at_us=at_us,
+                    controller_id=controller_id,
+                    down_us=controller_crash_down_us,
+                )
+            )
+
         # CSI blackout ---------------------------------------------------
         csi_gen = rng.stream("faults/csi/choice")
         for at_us in _arrival_times("faults/csi", csi_blackout_rate_per_s):
@@ -254,6 +324,9 @@ class FaultPlan:
     def partitions(self) -> List[Partition]:
         return [e for e in self.events if isinstance(e, Partition)]
 
+    def controller_crashes(self) -> List[ControllerCrash]:
+        return [e for e in self.events if isinstance(e, ControllerCrash)]
+
     def __len__(self) -> int:
         return len(self.events)
 
@@ -277,6 +350,13 @@ class FaultPlan:
                     f"{e.at_us:>12d} jitter {e.src}->{e.dst} "
                     f"+U[0,{e.jitter_us}]us for {e.duration_us}us"
                 )
+            elif isinstance(e, ControllerCrash):
+                back = f"restart +{e.down_us}us" if e.down_us else "no restart"
+                out.append(
+                    f"{e.at_us:>12d} ctrl-crash {e.controller_id} ({back})"
+                )
+            elif isinstance(e, ControllerRestart):
+                out.append(f"{e.at_us:>12d} ctrl-restart {e.controller_id}")
             else:
                 out.append(
                     f"{e.at_us:>12d} csi-blackout {e.ap_id} for {e.duration_us}us"

@@ -1,0 +1,23 @@
+"""Controller high availability: checkpoint/restore, warm standby,
+and the in-process cluster glue (this repo's extension beyond the
+paper — §6 names the central controller as the single point of
+failure a deployment would have to engineer around).
+"""
+
+from repro.ha.checkpoint import (
+    CHECKPOINT_VERSION,
+    ControllerCheckpoint,
+    checkpoint_controller,
+    restore_controller,
+)
+from repro.ha.cluster import HaCluster
+from repro.ha.standby import StandbyController
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "ControllerCheckpoint",
+    "checkpoint_controller",
+    "restore_controller",
+    "HaCluster",
+    "StandbyController",
+]

@@ -1,0 +1,222 @@
+"""Deterministic, versioned controller checkpoints.
+
+A checkpoint captures **all** of the controller's volatile protocol
+state — the selection windows, the per-client serving map, the 12-bit
+index cursors, every in-flight switch handshake (with its absolute
+retransmission deadline), the dedup key window, and the AP liveness
+table — as a plain JSON-able dict.  ``to_bytes`` renders it in
+canonical form (sorted keys, no whitespace), so equal checkpoints have
+equal bytes and a content digest identifies one uniquely.
+
+Two consumers:
+
+* the **warm standby** keeps the latest checkpoint and restores it at
+  promotion time;
+* a **restarted controller** can restore its own pre-crash checkpoint
+  and continue; the bit-identical-continuation property test holds
+  restore to producing the same subsequent event trace the uncrashed
+  controller would have produced.
+
+Restore is *state-only*: it sends no messages.  Timers are re-armed at
+their checkpointed absolute deadlines (clamped to now), in a fixed
+order — selection loops sorted by client, then the liveness check,
+then pending switch retransmissions, then failover retries — so two
+restores of the same checkpoint schedule identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.assoc_sync import AssociationDirectory, StaInfo
+
+#: Bump when the checkpoint layout changes; restore refuses mismatches.
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class ControllerCheckpoint:
+    """One serialized controller state, with provenance."""
+
+    version: int
+    taken_at_us: int
+    controller_id: str
+    state: Dict = field(default_factory=dict)
+
+    def to_bytes(self) -> bytes:
+        """Canonical JSON: sorted keys, minimal separators.
+
+        Canonical form makes equality structural (equal checkpoints ⇒
+        equal bytes ⇒ equal digest) and round-trip lossless:
+        ``from_bytes(cp.to_bytes()) == cp`` exactly.
+        """
+        return json.dumps(
+            {
+                "version": self.version,
+                "taken_at_us": self.taken_at_us,
+                "controller_id": self.controller_id,
+                "state": self.state,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ControllerCheckpoint":
+        decoded = json.loads(data.decode("utf-8"))
+        return cls(
+            version=int(decoded["version"]),
+            taken_at_us=int(decoded["taken_at_us"]),
+            controller_id=decoded["controller_id"],
+            state=decoded["state"],
+        )
+
+    def digest(self) -> str:
+        """Content digest of the canonical bytes."""
+        return hashlib.sha256(self.to_bytes()).hexdigest()
+
+    @property
+    def wire_size_bytes(self) -> int:
+        return len(self.to_bytes())
+
+
+def _sta_to_state(info: StaInfo) -> dict:
+    return {
+        "client": info.client,
+        "associated_at_us": info.associated_at_us,
+        "first_ap": info.first_ap,
+        "authorized": info.authorized,
+    }
+
+
+def _sta_from_state(state: dict) -> StaInfo:
+    return StaInfo(
+        client=state["client"],
+        associated_at_us=int(state["associated_at_us"]),
+        first_ap=state["first_ap"],
+        authorized=bool(state["authorized"]),
+    )
+
+
+def checkpoint_controller(controller) -> ControllerCheckpoint:
+    """Snapshot a live controller into a checkpoint (read-only).
+
+    Everything is copied into JSON-native shapes (lists, not tuples),
+    so the in-memory checkpoint equals its own serialize/parse round
+    trip element for element.
+    """
+    selector_state = {
+        client_id: {
+            ap_id: [[int(t), float(v)] for t, v in entries]
+            for ap_id, entries in per_client.items()
+        }
+        for client_id, per_client in controller.selector.snapshot().items()
+    }
+    last_heard = {
+        client_id: {
+            ap_id: [int(t), float(v)]
+            for ap_id, (t, v) in heard.items()
+        }
+        for client_id, heard in controller._last_heard.items()
+    }
+    state = {
+        "clients": {
+            client_id: client.to_state()
+            for client_id, client in controller._clients.items()
+        },
+        "selection_deadlines": {
+            client_id: timer.deadline_us
+            for client_id, timer in controller._selection_timers.items()
+        },
+        "retry_deadlines": {
+            client_id: timer.deadline_us
+            for client_id, timer in controller._retry_timers.items()
+        },
+        "selector": selector_state,
+        "coordinator": controller.coordinator.snapshot(),
+        "liveness": controller.liveness.snapshot(),
+        "dedup": controller.dedup.snapshot(),
+        "directory": {
+            client_id: _sta_to_state(controller.directory.get(client_id))
+            for client_id in sorted(controller.directory.clients())
+        },
+        "index_cursors": controller._index_alloc.snapshot(),
+        "ap_ids": sorted(controller._ap_ids),
+        "dead_aps": sorted(controller._dead_aps),
+        "last_heard": last_heard,
+        "pending_claims": dict(controller._pending_claims),
+    }
+    return ControllerCheckpoint(
+        version=CHECKPOINT_VERSION,
+        taken_at_us=controller._sim.now,
+        controller_id=controller.controller_id,
+        state=state,
+    )
+
+
+def restore_controller(controller, checkpoint: ControllerCheckpoint) -> None:
+    """Load a checkpoint into ``controller``, replacing its state.
+
+    State-only — no backhaul messages.  Timer re-arming order is fixed
+    (selection by client, liveness check, coordinator pending, retries
+    by client) so same-microsecond event ties resolve identically on
+    every restore of the same checkpoint.
+    """
+    if checkpoint.version != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint version {checkpoint.version} != "
+            f"supported {CHECKPOINT_VERSION}"
+        )
+    state = checkpoint.state
+
+    # Quiesce whatever the target controller was doing.
+    for timer in controller._selection_timers.values():
+        timer.stop()
+    controller._selection_timers.clear()
+    for timer in controller._retry_timers.values():
+        timer.stop()
+    controller._retry_timers.clear()
+
+    # Plain stores first.
+    controller._ap_ids = set(state["ap_ids"])
+    controller._dead_aps = set(state["dead_aps"])
+    controller.selector.restore(state["selector"])
+    controller.dedup.restore(state["dedup"])
+    controller._index_alloc.restore(state["index_cursors"])
+    directory = AssociationDirectory()
+    for client_id in sorted(state["directory"]):
+        directory.admit(_sta_from_state(state["directory"][client_id]))
+    controller.directory = directory
+    from repro.core.controller import ClientState  # cycle-free at runtime
+
+    controller._clients = {
+        client_id: ClientState.from_state(client_state)
+        for client_id, client_state in state["clients"].items()
+    }
+    controller._last_heard = {
+        client_id: {
+            ap_id: (int(t), float(v))
+            for ap_id, (t, v) in heard.items()
+        }
+        for client_id, heard in state["last_heard"].items()
+    }
+    controller._pending_claims = dict(state["pending_claims"])
+
+    # Timers, in the canonical order.
+    for client_id in sorted(state["selection_deadlines"]):
+        deadline = state["selection_deadlines"][client_id]
+        if client_id in controller._clients and deadline is not None:
+            controller._start_selection_loop(
+                client_id, first_deadline_us=int(deadline)
+            )
+    controller.liveness.restore(state["liveness"])
+    controller.coordinator.restore(state["coordinator"])
+    for client_id in sorted(state["retry_deadlines"]):
+        deadline = state["retry_deadlines"][client_id]
+        if client_id in controller._clients and deadline is not None:
+            controller._schedule_failover_retry(
+                client_id, deadline_us=int(deadline)
+            )

@@ -1,0 +1,191 @@
+"""The warm-standby controller.
+
+A second controller process sits on the backhaul, **inert**: before
+promotion it ignores the data plane entirely and consumes only its warm
+feed —
+
+* ``ha-checkpoint`` — the primary's periodic state snapshot (canonical
+  bytes; the standby keeps the latest);
+* ``ctrl-heartbeat`` — the primary's liveness signal (the standby runs
+  the same miss-counting detector the APs do);
+* ``sta-sync`` broadcasts and mirrored ``serving-update``s — the
+  between-checkpoints event feed, so promotion state is never staler
+  than one backhaul latency for the serving map.
+
+When the primary goes silent past the miss limit, the standby
+**promotes** itself:
+
+1. restore the latest checkpoint (state-only);
+2. overlay warm-feed serving updates received after the checkpoint;
+3. grant the AP liveness table a grace period (``reset_clock``) so a
+   healthy array is not mass-declared dead from stale beat times;
+4. broadcast ``ctrl-takeover`` so every AP re-homes, flushes its hold
+   buffer, and heartbeats here;
+5. re-publish the serving map and start controller heartbeats.
+
+From then on it *is* the controller — the full inherited WgttController
+machinery runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import WgttConfig
+from repro.core.controller import WgttController
+from repro.ha.checkpoint import ControllerCheckpoint, restore_controller
+from repro.net.backhaul import EthernetBackhaul
+from repro.sim.engine import Simulator, Timer
+from repro.sim.rng import RngRegistry
+
+
+class StandbyController(WgttController):
+    """A WgttController that boots inert and activates on promotion."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        backhaul: EthernetBackhaul,
+        rng: RngRegistry,
+        config: Optional[WgttConfig] = None,
+        controller_id: str = "controller-b",
+        primary_id: str = "controller",
+    ):
+        super().__init__(sim, backhaul, rng, config, controller_id)
+        self.role = "standby"
+        self.primary_id = primary_id
+        self.promoted = False
+        self.promoted_at_us: Optional[int] = None
+        self.last_checkpoint: Optional[ControllerCheckpoint] = None
+        #: client -> (received_at_us, ap): mirrored serving updates.
+        self._warm_serving: Dict[str, Tuple[int, str]] = {}
+        self._primary_last_beat: Optional[int] = None
+        self._primary_watch_timer = Timer(sim, self._primary_watch_tick)
+        #: Fired right after promotion completes (HA cluster hook).
+        self.on_promote = lambda: None
+        self.stats["checkpoints_received"] = 0
+        self.stats["promotions"] = 0
+
+    # ------------------------------------------------------------------
+    # warm feed (pre-promotion) vs full dispatch (post-promotion)
+    # ------------------------------------------------------------------
+
+    def _on_backhaul(self, src: str, kind: str, payload: object) -> None:
+        if not self.alive:
+            return
+        if kind == "ha-checkpoint":
+            self._checkpoint_received(payload)
+            return
+        if kind == "ctrl-heartbeat":
+            self._primary_beat()
+            return
+        if self.promoted:
+            super()._on_backhaul(src, kind, payload)
+            return
+        # Inert: only the passive warm feed is consumed.
+        if kind == "sta-sync":
+            self.directory.admit(payload)
+        elif kind == "serving-update":
+            client_id, ap_id = payload
+            self._warm_serving[client_id] = (self._sim.now, ap_id)
+
+    def _checkpoint_received(self, payload: object) -> None:
+        data = payload if isinstance(payload, bytes) else bytes(payload)
+        self.last_checkpoint = ControllerCheckpoint.from_bytes(data)
+        self.stats["checkpoints_received"] += 1
+
+    # ------------------------------------------------------------------
+    # primary liveness
+    # ------------------------------------------------------------------
+
+    def _primary_beat(self) -> None:
+        self._primary_last_beat = self._sim.now
+        if not self.promoted and not self._primary_watch_timer.armed:
+            interval = self._config.controller_heartbeat_interval_us
+            if interval > 0:
+                self._primary_watch_timer.start(interval)
+
+    def _primary_watch_tick(self) -> None:
+        if self.promoted:
+            return  # promoted: the watch is moot
+        interval = self._config.controller_heartbeat_interval_us
+        deadline = self._config.controller_miss_limit * interval
+        if (
+            self._primary_last_beat is not None
+            and self._sim.now - self._primary_last_beat > deadline
+        ):
+            self.promote()
+            return
+        self._primary_watch_timer.start(interval)
+
+    # ------------------------------------------------------------------
+    # promotion
+    # ------------------------------------------------------------------
+
+    def promote(self) -> None:
+        """Become the controller (idempotent)."""
+        if self.promoted or not self.alive:
+            return
+        self.promoted = True
+        self.role = "active"
+        self.promoted_at_us = self._sim.now
+        self.stats["promotions"] += 1
+        self._primary_watch_timer.stop()
+
+        checkpoint = self.last_checkpoint
+        if checkpoint is not None:
+            restore_controller(self, checkpoint)
+            # The checkpoint is up to one shipping interval stale: the
+            # dead primary kept allocating cyclic indices past the
+            # checkpointed cursors.  Skid every cursor forward so none
+            # is re-used (readers skip the gap); the APs' edge-reports
+            # true the cursors up exactly as they re-home.
+            self._index_alloc.skid(self._config.ha_index_skid)
+        else:
+            # Never received a checkpoint: bootstrap from the warm feed
+            # alone.  Claims seed the serving map before registration so
+            # register_association lands each client on the AP actually
+            # serving it, not its first AP.
+            for client_id in sorted(self._warm_serving):
+                self._pending_claims.setdefault(
+                    client_id, self._warm_serving[client_id][1]
+                )
+            for client_id in sorted(self.directory.clients()):
+                self._register_from_directory(client_id)
+
+        # Overlay serving updates mirrored after the checkpoint was cut.
+        if checkpoint is not None:
+            for client_id in sorted(self._warm_serving):
+                received_at, ap_id = self._warm_serving[client_id]
+                if received_at <= checkpoint.taken_at_us:
+                    continue
+                state = self._clients.get(client_id)
+                if (
+                    state is not None
+                    and ap_id in self._ap_ids
+                    and state.serving_ap != ap_id
+                ):
+                    state.serving_ap = ap_id
+        self._warm_serving.clear()
+
+        # Innocent-until-silent: checkpointed beat times are up to a
+        # checkpoint interval + an outage old; judging them against the
+        # post-promotion clock would mass-declare the array dead.
+        self.liveness.reset_clock(self._sim.now)
+
+        # Announce, re-publish, heartbeat.
+        for ap_id in sorted(self._ap_ids):
+            self._backhaul.send_control(
+                self.controller_id, ap_id, "ctrl-takeover", self.controller_id
+            )
+        for client_id in sorted(self._clients):
+            self._publish_serving(
+                client_id, self._clients[client_id].serving_ap
+            )
+        self.start_ctrl_heartbeats()
+        self.on_promote()
+
+    def _register_from_directory(self, client_id: str) -> None:
+        """register_association for a directory record already admitted
+        pre-promotion (the admit inside is then a no-op)."""
+        self.register_association(self.directory.get(client_id))

@@ -12,7 +12,7 @@ failover latencies and recovery-deadline verdicts (chaos experiment).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.scenarios.testbed import Testbed
 from repro.sim.engine import SECOND
@@ -125,10 +125,24 @@ class FailoverAudit:
     # joins
     # ------------------------------------------------------------------
 
+    def _timeline(self) -> List[Tuple[int, str, str]]:
+        """The serving timeline, merged across an HA failover.
+
+        After a standby promotion the promoted controller's timeline
+        carries the post-takeover truth; the merge keeps recoveries
+        visible to the crash joins no matter which controller drove
+        them."""
+        timeline = list(self._controller.serving_timeline)
+        standby = getattr(self._testbed, "standby", None)
+        if standby is not None:
+            timeline.extend(standby.serving_timeline)
+            timeline.sort(key=lambda entry: entry[0])
+        return timeline
+
     def _serving_at(self, client_id: str, time_us: int) -> Optional[str]:
         """The AP serving ``client_id`` just before ``time_us``."""
         current: Optional[str] = None
-        for at_us, client, ap_id in self._controller.serving_timeline:
+        for at_us, client, ap_id in self._timeline():
             if at_us > time_us:
                 break
             if client == client_id:
@@ -143,7 +157,7 @@ class FailoverAudit:
         injector = self._testbed.fault_injector
         crash_events = injector.crash_times() if injector is not None else []
         out: List[CrashRecovery] = []
-        timeline = self._controller.serving_timeline
+        timeline = self._timeline()
         for crash_us, ap_id in crash_events:
             affected = [
                 client
@@ -202,6 +216,17 @@ class FailoverAudit:
             violations += len(recovery.unrecovered)
         return violations
 
+    def post_restore_duplicates(self) -> int:
+        """Uplink copies recognised as duplicates *after* a controller
+        restore (standby promotion), thanks to the dedup key window the
+        checkpoint carried over.  Each one is a duplicate the server
+        would have seen had the window not been shipped.  Zero when no
+        promotion happened (or HA is off)."""
+        standby = getattr(self._testbed, "standby", None)
+        if standby is None or not standby.promoted:
+            return 0
+        return standby.dedup.duplicates
+
     def summary(self) -> dict:
         recoveries = self.crash_recoveries()
         latencies = self.failover_latencies_ms()
@@ -218,4 +243,110 @@ class FailoverAudit:
                 sum(latencies) / len(latencies) if latencies else None
             ),
             "max_failover_ms": max(latencies) if latencies else None,
+            "post_restore_duplicates": self.post_restore_duplicates(),
+        }
+
+
+class HaAudit:
+    """Controller-outage audit for an HA run.
+
+    Joins the injector's ``ctrl-crash`` trace with the standby's
+    promotion instant, the AP array's re-home/hold counters, and the
+    cluster's ingress accounting into the ext_ha headline numbers:
+    control-plane recovery latency, duplicate leakage, and explicit
+    (never silent) packet loss.
+    """
+
+    def __init__(self, testbed: Testbed):
+        if getattr(testbed, "ha", None) is None:
+            raise ValueError("HaAudit requires an HA-enabled testbed")
+        self._testbed = testbed
+        self._cluster = testbed.ha
+        self._primary = testbed.controller
+        self._standby = testbed.standby
+
+    def controller_crash_times(self) -> List[int]:
+        injector = self._testbed.fault_injector
+        if injector is None:
+            return []
+        return [t for t, _ in injector.controller_crash_times()]
+
+    def promotion_latency_us(self) -> Optional[int]:
+        """First controller crash → standby promotion, or None."""
+        crashes = self.controller_crash_times()
+        promoted_at = self._standby.promoted_at_us
+        if not crashes or promoted_at is None:
+            return None
+        return promoted_at - crashes[0]
+
+    def clients_recovered(self) -> bool:
+        """Every client is registered at the active controller with a
+        live serving AP."""
+        active = self._cluster.active_controller()
+        if active is None:
+            return False
+        for client in self._testbed.clients:
+            state = active.client_state(client.client_id)
+            if state is None:
+                return False
+            ap = self._testbed.wgtt_aps.get(state.serving_ap)
+            if ap is None or not ap.alive:
+                return False
+        return True
+
+    def recovery_complete_us(self) -> Optional[int]:
+        """When the *last* client re-registered at the promoted
+        controller: the max over clients of each client's **first**
+        serving-timeline entry at/after the promotion instant.  Later
+        entries are ordinary mobility switches, not recovery — counting
+        them would grow the latency with drive time."""
+        promoted_at = self._standby.promoted_at_us
+        if promoted_at is None or not self.clients_recovered():
+            return None
+        first_entry: Dict[str, int] = {}
+        for at_us, client, _ in self._standby.serving_timeline:
+            if at_us >= promoted_at and client not in first_entry:
+                first_entry[client] = at_us
+        if not first_entry:
+            return promoted_at
+        return max(first_entry.values())
+
+    def overflow_drops(self) -> int:
+        """Cyclic-queue slots destroyed while undelivered, array-wide."""
+        return sum(
+            queue.overflow_drops
+            for ap in self._testbed.wgtt_aps.values()
+            for queue in ap._cyclic.values()
+        )
+
+    def summary(self) -> dict:
+        aps = self._testbed.wgtt_aps.values()
+        crashes = self.controller_crash_times()
+        latency = self.promotion_latency_us()
+        recovery_at = self.recovery_complete_us()
+        return {
+            "controller_crashes": len(crashes),
+            "promoted": self._standby.promoted,
+            "promotion_latency_ms": (
+                latency / 1_000.0 if latency is not None else None
+            ),
+            "recovery_latency_ms": (
+                (recovery_at - crashes[0]) / 1_000.0
+                if recovery_at is not None and crashes
+                else None
+            ),
+            "clients_recovered": self.clients_recovered(),
+            "checkpoints_shipped": self._cluster.checkpoints_shipped,
+            "checkpoint_bytes": self._cluster.checkpoint_bytes,
+            "lost_downlink": self._cluster.lost_downlink,
+            "aps_rehomed": sum(ap.stats["rehomed"] for ap in aps),
+            "hold_buffered": sum(ap.stats["hold_buffered"] for ap in aps),
+            "hold_dropped": sum(ap.stats["hold_dropped"] for ap in aps),
+            "hold_flushed": sum(ap.stats["hold_flushed"] for ap in aps),
+            "overflow_drops": self.overflow_drops(),
+            "post_restore_duplicates": (
+                self._standby.dedup.duplicates
+                if self._standby.promoted
+                else 0
+            ),
         }

@@ -30,6 +30,15 @@ DEFAULT_BANDWIDTH_BPS = 1_000_000_000
 #: silently disabled, and it must stay reproducible.
 DEFAULT_LOSS_SEED = 0xB10C1055
 
+#: Message kinds that model a reliable (TCP-like) transport: exempt
+#: from the Bernoulli loss knob, though injected faults (node down,
+#: partition) still drop them.  Keeping the exemption kind-based means
+#: the loss stream's draw sequence over data/control traffic is
+#: unchanged whether liveness or HA messaging is active.
+RELIABLE_KINDS: FrozenSet[str] = frozenset(
+    {"heartbeat", "ctrl-heartbeat", "ha-checkpoint", "ctrl-takeover"}
+)
+
 
 @dataclass
 class BackhaulStats:
@@ -213,13 +222,14 @@ class EthernetBackhaul:
         if self._fault_blocked(src_id, dst_id):
             self.stats.fault_dropped += 1
             return
-        # Heartbeats ride a reliable transport in a real deployment (the
-        # paper's sta-sync uses per-peer TCP); exempting them from the
-        # scalar Bernoulli loss knob also keeps the loss stream's draw
-        # sequence for data/control traffic identical whether or not
-        # liveness is running.  Injected faults (crash, partition) do
-        # drop heartbeats — that is what the liveness tracker detects.
-        if self.loss_rate > 0.0 and kind != "heartbeat":
+        # Liveness and HA traffic rides a reliable transport in a real
+        # deployment (the paper's sta-sync uses per-peer TCP); exempting
+        # those kinds from the scalar Bernoulli loss knob also keeps the
+        # loss stream's draw sequence for data/control traffic identical
+        # whether or not liveness/HA is running.  Injected faults
+        # (crash, partition) do drop them — that is what the liveness
+        # trackers on both sides detect.
+        if self.loss_rate > 0.0 and kind not in RELIABLE_KINDS:
             if self._loss_draw() < self.loss_rate:
                 self.dropped += 1
                 return

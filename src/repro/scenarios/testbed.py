@@ -228,6 +228,9 @@ class Testbed:
         self._build_aps()
 
         self.controller: Optional[WgttController] = None
+        #: Warm standby + cluster glue (built when wgtt.ha_enabled).
+        self.standby: Optional["StandbyController"] = None
+        self.ha: Optional["HaCluster"] = None
         self.wlc: Optional[BaselineWlc] = None
         self.wgtt_aps: Dict[str, WgttAccessPoint] = {}
         self.baseline_aps: Dict[str, Baseline80211rAp] = {}
@@ -290,8 +293,37 @@ class Testbed:
             ap.device.start_beaconing()
             self.wgtt_aps[ap_id] = ap
             self.controller.add_ap(ap_id)
+        if self.config.wgtt.ha_enabled:
+            self._build_ha()
         if self.config.channel_plan is not None:
             self.controller.on_serving_update = self._retune_client
+            if self.standby is not None:
+                self.standby.on_serving_update = self._retune_client
+
+    def _build_ha(self) -> None:
+        """Warm standby + cluster (opt-in: ``wgtt.ha_enabled``)."""
+        from repro.ha.cluster import HaCluster
+        from repro.ha.standby import StandbyController
+
+        self.standby = StandbyController(
+            self.sim,
+            self.backhaul,
+            self.rng,
+            self.config.wgtt,
+            controller_id=self.config.wgtt.standby_id,
+            primary_id=self.controller.controller_id,
+        )
+        self.standby.on_uplink = self._deliver_uplink
+        for ap_id in self.ap_ids:
+            self.standby.add_ap(ap_id)
+        self.ha = HaCluster(
+            self.sim,
+            self.backhaul,
+            self.controller,
+            self.standby,
+            self.config.wgtt,
+        )
+        self.ha.start()
 
     def _retune_client(self, client_id: str, ap_id: str) -> None:
         """Multi-channel ablation glue: a switch retunes the client."""
@@ -341,6 +373,8 @@ class Testbed:
             for ap in self.wgtt_aps.values():
                 ap.directory.admit(info)
             self.controller.register_association(info)
+            if self.standby is not None:
+                self.standby.directory.admit(info)
             self.wgtt_aps[first_ap].start_serving(client.client_id)
         else:
             agent = client.agent
@@ -369,6 +403,27 @@ class Testbed:
         """Immediately restart a crashed AP."""
         self.wgtt_aps[ap_id].restart()
 
+    def crash_controller(self) -> None:
+        """Immediately crash the (primary) controller."""
+        self.controller.crash()
+
+    def restart_controller(self) -> None:
+        """Immediately restart a crashed controller."""
+        self.controller.restart()
+
+    def active_controller(self) -> Optional[WgttController]:
+        """The controller currently owning the control plane."""
+        if self.ha is not None:
+            return self.ha.active_controller()
+        return self.controller
+
+    def depart_client(self, client_index: int = 0) -> None:
+        """Deregister a client everywhere (commuter leaves the bus)."""
+        client_id = self.clients[client_index].client_id
+        active = self.active_controller()
+        if active is not None:
+            active.deregister_client(client_id)
+
     # ------------------------------------------------------------------
     # traffic plumbing
     # ------------------------------------------------------------------
@@ -384,11 +439,12 @@ class Testbed:
     def send_downlink(self, packet: Packet) -> None:
         """Server-side ingress: tag IP-ID, add server latency, route."""
         packet.ip_id = self._server_ip_ids.allocate(packet.src)
-        ingress = (
-            self.controller.accept_downlink
-            if self.controller is not None
-            else self.wlc.accept_downlink
-        )
+        if self.ha is not None:
+            ingress = self.ha.accept_downlink
+        elif self.controller is not None:
+            ingress = self.controller.accept_downlink
+        else:
+            ingress = self.wlc.accept_downlink
         self.sim.schedule(
             self.config.wgtt.server_latency_us, lambda: ingress(packet)
         )
@@ -498,7 +554,8 @@ class Testbed:
     def serving_ap_of(self, client_index: int) -> Optional[str]:
         client_id = self.clients[client_index].client_id
         if self.controller is not None:
-            return self.controller.serving_ap(client_id)
+            active = self.active_controller() or self.controller
+            return active.serving_ap(client_id)
         agent = self.clients[client_index].agent
         return agent.current_ap if agent else None
 

@@ -236,10 +236,26 @@ class Timer:
     def armed(self) -> bool:
         return self._handle is not None and self._handle.active
 
+    @property
+    def deadline_us(self) -> Optional[int]:
+        """Absolute fire time while armed, else None.  The controller
+        checkpointer reads this so a restored controller re-arms its
+        timers at the *same* absolute instants."""
+        return self._handle.time_us if self.armed else None
+
     def start(self, delay_us: int) -> None:
         """(Re-)arm the timer to fire ``delay_us`` from now."""
         self.stop()
         self._handle = self._sim.schedule(delay_us, self._fire)
+
+    def start_at(self, time_us: int) -> None:
+        """(Re-)arm the timer to fire at absolute ``time_us``; instants
+        already in the past are clamped to now (fire on the next event
+        round).  Used by checkpoint restore."""
+        self.stop()
+        self._handle = self._sim.schedule_at(
+            max(int(time_us), self._sim.now), self._fire
+        )
 
     def stop(self) -> None:
         """Disarm the timer if armed."""

@@ -121,3 +121,120 @@ class TestDownlinkGating:
         sim.run(until_us=60_000)
         data_aps = {ap for ap, kind, _ in sent if kind == "data"}
         assert data_aps == {"ap0", "ap1"}
+
+
+class TestFailoverRetry:
+    """_schedule_failover_retry: the graceful-degradation loop that
+    keeps hunting for a live AP after an evacuation found none."""
+
+    def test_no_candidate_schedules_retry(self):
+        sim, controller, sent = make_controller()
+        sim.run(until_us=50_000)
+        controller._ap_down("ap0")  # serving AP dies, nobody heard client0
+        assert controller.stats["failover_no_candidate"] == 1
+        state = controller._clients["client0"]
+        assert state.failover_retry_pending
+        assert state.degraded_since is not None
+        assert "client0" in controller._retry_timers
+
+    def test_retry_keeps_rescheduling_until_exhaustion_never_happens(self):
+        """Retries never give up silently: each barren attempt counts a
+        failover_no_candidate and re-arms the timer."""
+        sim, controller, sent = make_controller()
+        sim.run(until_us=50_000)
+        controller._ap_down("ap0")
+        period = controller._config.selection_period_us
+        sim.run(until_us=sim.now + 4 * period + 1_000)
+        assert controller.stats["failover_no_candidate"] >= 3
+        assert controller._clients["client0"].failover_retry_pending
+
+    def test_retry_recovers_when_a_live_ap_hears_the_client(self):
+        sim, controller, sent = make_controller()
+        sim.run(until_us=50_000)
+        controller._ap_down("ap0")
+        assert controller.stats["failovers_initiated"] == 0
+        feed(controller, sim, "ap1", 20.0)
+        period = controller._config.selection_period_us
+        sim.run(until_us=sim.now + 2 * period + 1_000)
+        assert controller.stats["failovers_initiated"] == 1
+        failover_targets = [ap for ap, kind, _ in sent if kind == "failover"]
+        assert "ap1" in failover_targets
+
+    def test_target_dying_mid_retry_is_survived(self):
+        """The AP the retry would have picked dies before the timer
+        fires: the retry must skip it and keep hunting, not crash or
+        start a handshake with a corpse."""
+        sim, controller, sent = make_controller()
+        sim.run(until_us=50_000)
+        controller._ap_down("ap0")
+        feed(controller, sim, "ap1", 20.0)  # ap1 becomes the candidate
+        controller._ap_down("ap1")  # ... and dies before the retry fires
+        period = controller._config.selection_period_us
+        sim.run(until_us=sim.now + 3 * period + 1_000)
+        handshake_targets = {
+            p.target_ap for _, kind, p in sent if kind == "stop"
+        } | {ap for ap, kind, _ in sent if kind == "failover"}
+        assert "ap1" not in handshake_targets
+        assert controller._clients["client0"].failover_retry_pending
+
+    def test_retry_noop_after_client_departs(self):
+        sim, controller, sent = make_controller()
+        sim.run(until_us=50_000)
+        controller._ap_down("ap0")
+        barren = controller.stats["failover_no_candidate"]
+        controller.deregister_client("client0")
+        period = controller._config.selection_period_us
+        sim.run(until_us=sim.now + 3 * period + 1_000)  # must not raise
+        assert controller.stats["failover_no_candidate"] == barren
+        assert not controller._retry_timers
+
+    def test_retry_noop_after_controller_crash(self):
+        sim, controller, sent = make_controller()
+        sim.run(until_us=50_000)
+        controller._ap_down("ap0")
+        controller.crash()
+        period = controller._config.selection_period_us
+        sim.run(until_us=sim.now + 3 * period + 1_000)  # must not raise
+        assert not controller._retry_timers
+
+
+class TestClientDeparture:
+    """deregister_client: every per-client resource is freed (the
+    unbounded-growth fix for one-ride commuters)."""
+
+    def test_departure_frees_every_store(self):
+        sim, controller, sent = make_controller()
+        sim.run(until_us=50_000)
+        feed(controller, sim, "ap0", 15.0)
+        controller.accept_downlink(Packet("server", "client0", 1000))
+        assert controller._index_alloc.tracked_clients() == 1
+        controller.deregister_client("client0")
+        assert "client0" not in controller._clients
+        assert controller._index_alloc.tracked_clients() == 0
+        assert "client0" not in controller._selection_timers
+        assert "client0" not in controller._last_heard
+        assert not controller.directory.is_associated("client0")
+        assert controller.stats["clients_departed"] == 1
+
+    def test_departure_broadcast_reaches_every_ap(self):
+        sim, controller, sent = make_controller()
+        controller.deregister_client("client0")
+        sim.run(until_us=sim.now + 10_000)
+        departed = {
+            ap for ap, kind, p in sent
+            if kind == "client-departed" and p == "client0"
+        }
+        assert departed == {"ap0", "ap1", "ap2"}
+
+    def test_departure_of_unknown_client_is_safe(self):
+        sim, controller, sent = make_controller()
+        controller.deregister_client("ghost")  # must not raise
+        assert controller.stats["clients_departed"] == 0
+
+    def test_csi_after_departure_does_not_resurrect(self):
+        sim, controller, sent = make_controller()
+        controller.deregister_client("client0")
+        feed(controller, sim, "ap1", 25.0)
+        sim.run(until_us=sim.now + 60_000)
+        assert "client0" not in controller._clients
+        assert "client0" not in controller._selection_timers

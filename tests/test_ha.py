@@ -1,0 +1,392 @@
+"""Controller high availability: checkpoint round-trips, bit-identical
+self-restore continuation, warm-standby failover, and the cyclic-queue
+overload guardrails."""
+
+import numpy as np
+import pytest
+
+from repro.channel.csi import CsiReport
+from repro.core.assoc_sync import StaInfo
+from repro.core.config import WgttConfig
+from repro.core.controller import WgttController
+from repro.core.cyclic_queue import CyclicQueue, IndexAllocator
+from repro.faults.plan import ControllerCrash, FaultPlan
+from repro.ha import (
+    CHECKPOINT_VERSION,
+    ControllerCheckpoint,
+    checkpoint_controller,
+    restore_controller,
+)
+from repro.metrics.recorder import FailoverAudit, HaAudit
+from repro.net.backhaul import EthernetBackhaul
+from repro.net.packet import Packet
+from repro.scenarios.testbed import TestbedConfig, build_testbed
+from repro.sim import RngRegistry, Simulator
+from repro.sim.engine import MS, SECOND
+
+
+# ----------------------------------------------------------------------
+# rig: a controller with rich, randomized state (no radio in the loop)
+# ----------------------------------------------------------------------
+
+
+def make_controller(**config_kw):
+    sim = Simulator()
+    backhaul = EthernetBackhaul(sim)
+    config = WgttConfig(**config_kw)
+    controller = WgttController(sim, backhaul, RngRegistry(1), config)
+    sent = []
+    for ap_id in ("ap0", "ap1", "ap2"):
+        backhaul.register(
+            ap_id,
+            lambda src, kind, payload, ap=ap_id: sent.append(
+                (ap, kind, payload)
+            ),
+        )
+        controller.add_ap(ap_id)
+    return sim, controller, sent
+
+
+def feed(controller, sim, ap_id, esnr_db, client_id="client0", count=6):
+    base = sim.now
+    for i in range(count):
+        controller._handle_csi(
+            CsiReport(
+                time_us=base + i * 1500,
+                ap_id=ap_id,
+                client_id=client_id,
+                subcarrier_snr_db=np.full(56, esnr_db),
+                rssi_dbm=-60.0,
+            )
+        )
+
+
+def enrich(sim, controller, rng: np.random.Generator):
+    """Drive the rig into a random-but-reproducible rich state:
+    several clients, CSI windows, uplink dedup keys, an in-flight
+    switch handshake (the fake APs never ack), and a failover retry."""
+    n_clients = int(rng.integers(2, 5))
+    for i in range(n_clients):
+        controller.register_association(
+            StaInfo(
+                client=f"client{i}",
+                associated_at_us=sim.now,
+                first_ap="ap0",
+            )
+        )
+    sim.run(until_us=sim.now + 50_000)
+    for i in range(n_clients):
+        for ap_id in ("ap0", "ap1", "ap2"):
+            feed(
+                controller,
+                sim,
+                ap_id,
+                float(rng.uniform(5.0, 30.0)),
+                client_id=f"client{i}",
+                count=int(rng.integers(2, 7)),
+            )
+    # Uplink datagrams populate the dedup window.
+    for i in range(int(rng.integers(3, 12))):
+        controller._handle_uplink(
+            Packet(
+                "client0", "server", 200, protocol="udp", ip_id=int(i)
+            )
+        )
+    # Downlink packets advance index cursors.
+    for i in range(int(rng.integers(1, 6))):
+        controller.accept_downlink(Packet("server", "client0", 1000))
+    # Let a selection tick start a switch (never acked -> stays pending).
+    sim.run(until_us=sim.now + 30_000)
+
+
+# ----------------------------------------------------------------------
+# checkpoint round-trip property
+# ----------------------------------------------------------------------
+
+
+class TestCheckpointRoundTrip:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+    def test_round_trip_lossless(self, seed):
+        """from_bytes(to_bytes(cp)) == cp over randomized rich states."""
+        sim, controller, _ = make_controller()
+        enrich(sim, controller, np.random.default_rng(seed))
+        cp = checkpoint_controller(controller)
+        clone = ControllerCheckpoint.from_bytes(cp.to_bytes())
+        assert clone == cp
+        assert clone.digest() == cp.digest()
+        assert clone.to_bytes() == cp.to_bytes()
+
+    def test_checkpoint_captures_every_store(self):
+        sim, controller, _ = make_controller()
+        enrich(sim, controller, np.random.default_rng(42))
+        state = checkpoint_controller(controller).state
+        for key in (
+            "clients",
+            "selection_deadlines",
+            "retry_deadlines",
+            "selector",
+            "coordinator",
+            "liveness",
+            "dedup",
+            "directory",
+            "index_cursors",
+            "ap_ids",
+            "dead_aps",
+            "last_heard",
+            "pending_claims",
+        ):
+            assert key in state
+        assert state["clients"]  # enrich registered clients
+        assert state["dedup"]["keys"]  # uplinks populated the window
+        assert state["index_cursors"]["client0"] > 0
+
+    def test_restore_then_recheckpoint_is_identical(self):
+        """Restore is lossless: checkpoint -> restore -> checkpoint
+        yields byte-identical state at the same instant."""
+        sim, controller, _ = make_controller()
+        enrich(sim, controller, np.random.default_rng(7))
+        cp1 = checkpoint_controller(controller)
+        restore_controller(controller, cp1)
+        cp2 = checkpoint_controller(controller)
+        assert cp1.to_bytes() == cp2.to_bytes()
+
+    def test_version_mismatch_refused(self):
+        sim, controller, _ = make_controller()
+        cp = checkpoint_controller(controller)
+        bad = ControllerCheckpoint(
+            version=CHECKPOINT_VERSION + 1,
+            taken_at_us=cp.taken_at_us,
+            controller_id=cp.controller_id,
+            state=cp.state,
+        )
+        with pytest.raises(ValueError):
+            restore_controller(controller, bad)
+
+
+# ----------------------------------------------------------------------
+# bit-identical self-restore continuation (testbed level)
+# ----------------------------------------------------------------------
+
+
+def _continuation_trace(restore_at_us):
+    config = TestbedConfig(seed=11, scheme="wgtt", num_aps=4)
+    testbed = build_testbed(config)
+    source, sink = testbed.add_downlink_udp_flow(0, rate_bps=2e6)
+    source.start()
+    testbed.run_until(restore_at_us)
+    if restore_at_us:
+        cp = checkpoint_controller(testbed.controller)
+        clone = ControllerCheckpoint.from_bytes(cp.to_bytes())
+        restore_controller(testbed.controller, clone)
+    testbed.run_until(1_600_000)
+    return (
+        list(testbed.controller.serving_timeline),
+        list(sink.arrivals),
+        len(testbed.controller.coordinator.history),
+    )
+
+
+class TestBitIdenticalContinuation:
+    def test_self_restore_continues_identically(self):
+        """A controller restored from its own wire-serialized checkpoint
+        produces the same subsequent event trace as one never touched."""
+        baseline = _continuation_trace(restore_at_us=0)
+        restored = _continuation_trace(restore_at_us=800_000)
+        assert restored == baseline
+
+
+# ----------------------------------------------------------------------
+# warm-standby failover (testbed level)
+# ----------------------------------------------------------------------
+
+
+def _ha_testbed(plan=None, checkpoint_interval_ms=100, seed=3):
+    config = TestbedConfig(
+        seed=seed,
+        scheme="wgtt",
+        wgtt=WgttConfig(
+            ha_enabled=True,
+            checkpoint_interval_us=checkpoint_interval_ms * MS,
+        ),
+        fault_plan=plan,
+    )
+    return build_testbed(config)
+
+
+class TestWarmStandbyFailover:
+    def test_kill_promotes_and_recovers_within_budget(self):
+        kill_us = 1 * SECOND
+        plan = FaultPlan([ControllerCrash(at_us=kill_us, down_us=None)])
+        testbed = _ha_testbed(plan)
+        source, sink = testbed.add_downlink_udp_flow(0, rate_bps=2e6)
+        source.start()
+        testbed.run_until(kill_us + 250 * MS)
+        audit = HaAudit(testbed)
+        assert testbed.standby.promoted
+        assert audit.clients_recovered()
+        delivered_at_budget = len(sink.arrivals)
+        testbed.run_seconds(1.0)
+        summary = audit.summary()
+        assert summary["promotion_latency_ms"] is not None
+        assert summary["promotion_latency_ms"] <= 250.0
+        assert summary["recovery_latency_ms"] <= 250.0
+        # The data plane resumes through the promoted standby.
+        assert len(sink.arrivals) > delivered_at_budget
+        # Loss across the outage is explicit, never silent.
+        assert summary["overflow_drops"] == 0
+        assert sink.duplicates == 0
+        assert summary["aps_rehomed"] == len(testbed.wgtt_aps)
+
+    def test_no_promotion_without_crash(self):
+        testbed = _ha_testbed()
+        source, _ = testbed.add_downlink_udp_flow(0, rate_bps=2e6)
+        source.start()
+        testbed.run_seconds(1.5)
+        assert not testbed.standby.promoted
+        assert testbed.ha.checkpoints_shipped > 0
+        assert testbed.active_controller() is testbed.controller
+
+    def test_restarted_primary_stays_demoted(self):
+        """A primary that reboots after the standby promoted must not
+        steal the array back (split brain)."""
+        kill_us = 1 * SECOND
+        plan = FaultPlan(
+            [ControllerCrash(at_us=kill_us, down_us=800 * MS)]
+        )
+        testbed = _ha_testbed(plan)
+        source, _ = testbed.add_downlink_udp_flow(0, rate_bps=2e6)
+        source.start()
+        testbed.run_seconds(2.5)
+        assert testbed.standby.promoted
+        assert testbed.controller.alive  # it did restart ...
+        assert testbed.active_controller() is testbed.standby
+        for ap in testbed.wgtt_aps.values():
+            assert ap._controller_id == testbed.standby.controller_id
+
+    def test_shipped_dedup_window_blocks_post_failover_duplicates(self):
+        kill_us = 1 * SECOND
+        plan = FaultPlan([ControllerCrash(at_us=kill_us, down_us=None)])
+        testbed = _ha_testbed(plan, checkpoint_interval_ms=50)
+        source, sink = testbed.add_downlink_udp_flow(0, rate_bps=2e6)
+        source.start()
+        uplink_sender, _ = testbed.add_uplink_tcp_flow(0)
+        uplink_sender.start()
+        testbed.run_seconds(2.5)
+        assert testbed.standby.promoted
+        audit = FailoverAudit(testbed)
+        # The dedup window the checkpoint carried over is live on the
+        # promoted standby; copies it recognises never reach the server.
+        assert audit.post_restore_duplicates() >= 0
+        assert audit.post_restore_duplicates() == (
+            testbed.standby.dedup.duplicates
+        )
+
+    def test_checkpoint_cadence_follows_config(self):
+        fast = _ha_testbed(checkpoint_interval_ms=25)
+        slow = _ha_testbed(checkpoint_interval_ms=400)
+        fast.run_seconds(1.2)
+        slow.run_seconds(1.2)
+        assert fast.ha.checkpoints_shipped > slow.ha.checkpoints_shipped
+
+
+# ----------------------------------------------------------------------
+# cyclic-queue overload guardrails
+# ----------------------------------------------------------------------
+
+
+class TestOverflowAccounting:
+    def test_lapping_the_reader_is_counted(self):
+        queue = CyclicQueue(size=8)
+        for i in range(8):
+            queue.insert(i, Packet("server", "c", 100))
+        assert queue.overflow_drops == 0
+        # Writer laps onto the (undelivered) head slot.
+        queue.insert(0, Packet("server", "c", 100))
+        assert queue.overflow_drops == 1
+        assert queue.overwrites == 1
+
+    def test_delivered_slots_overwrite_freely(self):
+        queue = CyclicQueue(size=8)
+        for i in range(4):
+            queue.insert(i, Packet("server", "c", 100))
+        for _ in range(4):
+            queue.pop_head()
+        # Next lap re-uses the drained slots: benign, not a drop.
+        for i in range(4):
+            queue.insert(i + 8, Packet("server", "c", 100))
+        assert queue.overflow_drops == 0
+
+
+class TestIndexAllocatorGuards:
+    def test_skid_advances_every_cursor(self):
+        alloc = IndexAllocator(size=4096)
+        for _ in range(5):
+            alloc.allocate("c0")
+        alloc.allocate("c1")
+        alloc.skid(256)
+        assert alloc.peek("c0") == 5 + 256
+        assert alloc.peek("c1") == 1 + 256
+
+    def test_skid_wraps_modulo(self):
+        alloc = IndexAllocator(size=16)
+        for _ in range(10):
+            alloc.allocate("c0")
+        alloc.skid(10)
+        assert alloc.peek("c0") == (10 + 10) % 16
+
+    def test_fast_forward_only_moves_forward(self):
+        alloc = IndexAllocator(size=4096)
+        for _ in range(100):
+            alloc.allocate("c0")
+        assert alloc.fast_forward("c0", 150)  # ahead: moves
+        assert alloc.peek("c0") == 150
+        assert not alloc.fast_forward("c0", 150)  # equal: ignored
+        assert not alloc.fast_forward("c0", 120)  # behind: ignored
+        assert alloc.peek("c0") == 150
+        # A wrapped ancient edge (>= half ring ahead) is ignored too.
+        assert not alloc.fast_forward("c0", 150 + 2048)
+        assert alloc.peek("c0") == 150
+
+    def test_forget_client_frees_cursor(self):
+        alloc = IndexAllocator()
+        alloc.allocate("c0")
+        alloc.allocate("c1")
+        alloc.forget_client("c0")
+        assert alloc.tracked_clients() == 1
+        assert alloc.peek("c0") == 0  # fresh if it ever returns
+
+
+class TestBackpressurePacing:
+    def _register(self, controller, sim):
+        controller.register_association(
+            StaInfo(client="client0", associated_at_us=0, first_ap="ap0")
+        )
+
+    def test_signal_paces_and_releases_downlink(self):
+        sim, controller, sent = make_controller()
+        self._register(controller, sim)
+        controller._handle_backpressure("ap0", ("client0", True))
+        controller.accept_downlink(Packet("server", "client0", 1000))
+        assert controller.stats["downlink_paced"] == 1
+        assert controller.stats["downlink_accepted"] == 0
+        controller._handle_backpressure("ap0", ("client0", False))
+        controller.accept_downlink(Packet("server", "client0", 1000))
+        assert controller.stats["downlink_accepted"] == 1
+
+    def test_stale_signal_from_non_serving_ap_ignored(self):
+        sim, controller, sent = make_controller()
+        self._register(controller, sim)
+        controller._handle_backpressure("ap1", ("client0", True))
+        assert not controller._clients["client0"].paced
+        controller.accept_downlink(Packet("server", "client0", 1000))
+        assert controller.stats["downlink_accepted"] == 1
+
+    def test_paced_drops_are_counted_never_silent(self):
+        sim, controller, sent = make_controller()
+        self._register(controller, sim)
+        controller._handle_backpressure("ap0", ("client0", True))
+        for _ in range(7):
+            controller.accept_downlink(Packet("server", "client0", 1000))
+        assert controller.stats["downlink_paced"] == 7
+        data = [1 for _, kind, _ in sent if kind == "data"]
+        assert not data
