@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""Observability overhead check: tracing disabled must be ~free.
+
+The ``repro.obs`` contract is zero-overhead-when-off: every emit site
+is guarded by a single ``tracer.active`` attribute load, and the engine
+hot loop only pays a ``self._profiler is None`` check per event.  A
+direct before/after comparison needs a pre-obs checkout, which CI does
+not have, so this benchmark bounds the overhead from first principles
+instead:
+
+* ``guard``  — the exact per-event cost the obs layer added to the hot
+  loop, measured by timing the guarded dispatch pattern (attribute
+  load + ``is None`` branch + call) against the bare call it replaced,
+  then expressed as a fraction of the engine's *real* measured
+  per-event dispatch cost.  This is the quantity the <3%% budget is
+  asserted against: guard_cost / per_event_cost.
+* ``engine`` — raw ``Simulator.step`` throughput with and without a
+  profiler installed (profiling *on* is allowed to cost; recorded for
+  context).
+* ``drive``  — end-to-end wall clock of a short bulk-download drive,
+  obs-disabled vs fully traced, interleaved repeats (context only).
+
+CI's obs-smoke job runs::
+
+    PYTHONPATH=src python benchmarks/perf/obs_overhead.py \
+        --skip-drive --assert-max-overhead 0.03
+
+failing when the added guard cost exceeds 3%% of the measured
+per-event dispatch cost — i.e. when "off" stops being cheap.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_guard(n: int = 1_000_000) -> dict:
+    """Cost of the obs hot-loop guard vs the bare dispatch it wraps.
+
+    Mimics ``Simulator.step``'s shapes: the pre-obs loop called the
+    handler directly; the obs loop loads ``self._profiler`` and
+    branches on ``is None`` first.
+    """
+
+    class Host:
+        __slots__ = ("_profiler",)
+
+        def __init__(self):
+            self._profiler = None
+
+    host = Host()
+    noop = lambda: None  # noqa: E731
+
+    def bare():
+        for _ in range(n):
+            noop()
+
+    def guarded():
+        for _ in range(n):
+            profiler = host._profiler
+            if profiler is None:
+                noop()
+            else:  # pragma: no cover - profiler off in this bench
+                noop()
+
+    bare_s = _best_of(bare)
+    guarded_s = _best_of(guarded)
+    return {
+        "iterations": n,
+        "bare_best_s": bare_s,
+        "guarded_best_s": guarded_s,
+        "guard_cost_ns_per_event": max(0.0, (guarded_s - bare_s) / n * 1e9),
+    }
+
+
+def bench_engine(n_events: int = 200_000) -> dict:
+    from repro.obs.profile import EngineProfiler
+    from repro.sim.engine import Simulator
+
+    def run(profiler):
+        sim = Simulator()
+        sim.set_profiler(profiler)
+        noop = lambda: None  # noqa: E731
+        for i in range(n_events):
+            sim.schedule_at(i, noop)
+        t0 = time.perf_counter()
+        sim.run()
+        return time.perf_counter() - t0
+
+    plain = _best_of(lambda: run(None), repeats=3)
+    profiled = _best_of(lambda: run(EngineProfiler()), repeats=3)
+    return {
+        "events": n_events,
+        "plain_best_s": plain,
+        "profiled_best_s": profiled,
+        "per_event_plain_us": plain / n_events * 1e6,
+        "profiling_on_overhead": max(0.0, profiled / plain - 1.0),
+    }
+
+
+def bench_drive(repeats: int = 3) -> dict:
+    from repro.apps.bulk import run_bulk_download
+    from repro.obs.context import ObsConfig
+    from repro.scenarios.testbed import TestbedConfig
+
+    def drive(obs):
+        config = TestbedConfig(
+            seed=3, scheme="wgtt", client_speeds_mph=[25.0], obs=obs
+        )
+        return run_bulk_download(config, protocol="tcp", duration_s=2.0)
+
+    # Interleave disabled/traced repeats so both see the same thermal
+    # and allocator conditions.
+    disabled, traced = [], []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        drive(None)
+        disabled.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        drive(ObsConfig(trace=True))
+        traced.append(time.perf_counter() - t0)
+    return {
+        "disabled_best_s": min(disabled),
+        "traced_best_s": min(traced),
+        "traced_over_disabled": min(traced) / min(disabled) - 1.0,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=None, metavar="PATH")
+    parser.add_argument(
+        "--skip-drive", action="store_true",
+        help="skip the end-to-end drive comparison (CI smoke)",
+    )
+    parser.add_argument(
+        "--assert-max-overhead", type=float, default=None, metavar="FRAC",
+        help="exit 1 when guard_cost / per_event_cost exceeds this "
+        "fraction (e.g. 0.03 = 3%%)",
+    )
+    args = parser.parse_args()
+
+    report = {"guard": bench_guard(), "engine": bench_engine()}
+    guard_ns = report["guard"]["guard_cost_ns_per_event"]
+    per_event_ns = report["engine"]["per_event_plain_us"] * 1e3
+    report["disabled_overhead_fraction"] = (
+        guard_ns / per_event_ns if per_event_ns else 0.0
+    )
+    if not args.skip_drive:
+        report["drive"] = bench_drive()
+
+    text = json.dumps(report, indent=2) + "\n"
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+    sys.stdout.write(text)
+
+    if args.assert_max_overhead is not None:
+        budget = args.assert_max_overhead
+        overhead = report["disabled_overhead_fraction"]
+        if overhead > budget:
+            print(
+                f"FAIL obs-off guard overhead {overhead:.2%} of per-event "
+                f"cost exceeds budget {budget:.2%}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"OK obs-off guard overhead {overhead:.2%} within {budget:.2%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,8 +3,14 @@
 Three commands cover the common workflows:
 
 * ``drive``       — one drive-by under either scheme, summarized.
+                    ``--trace``/``--profile``/``--metrics`` switch on
+                    the observability layer (``repro.obs``).
 * ``experiment``  — run a paper table/figure driver and print its rows.
 * ``list``        — enumerate the available experiment drivers.
+
+Experiment ids come from the registration decorator
+(:mod:`repro.experiments.registry`); the hand-maintained ``EXPERIMENTS``
+dict is gone.  A deprecation shim keeps the old name importable.
 """
 
 from __future__ import annotations
@@ -12,36 +18,41 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+import warnings
+from collections.abc import Mapping
+from typing import Iterator, List, Optional
 
+from repro.experiments import registry as experiment_registry
 from repro.experiments.common import format_table
+from repro.experiments.registry import ExperimentConfig
 
-#: Experiment ids -> (module name, description).
-EXPERIMENTS = {
-    "fig02": "ESNR dynamics / best-AP flip rate",
-    "fig04": "stock 802.11r handover failure",
-    "tab01": "switching-protocol execution time",
-    "fig10": "ESNR coverage heatmap",
-    "fig13": "throughput vs speed, both schemes",
-    "fig14": "TCP timeseries + association timeline",
-    "fig15": "UDP timeseries + association timeline",
-    "fig16": "link bit-rate CDF",
-    "tab02": "switching accuracy",
-    "fig17": "per-client throughput, 1-3 clients",
-    "fig18": "multi-client uplink loss",
-    "fig20": "driving-pattern cases",
-    "fig21": "selection-window sweep",
-    "tab03": "block-ACK collision rate",
-    "fig22": "time-hysteresis sweep",
-    "fig23": "dense vs sparse segments",
-    "tab04": "video rebuffer ratio",
-    "fig24": "conferencing fps CDF",
-    "tab05": "web page load time",
-    "ablations": "WGTT design-choice ablations",
-    "ext_density": "throughput vs AP deployment density",
-    "ext_faults": "chaos sweep: crash rate × partition duration",
-    "ext_ha": "controller-kill sweep under warm-standby HA",
-}
+
+class _DeprecatedExperiments(Mapping):
+    """Read-only view of the registry under the legacy ``EXPERIMENTS``
+    name.  Iteration/lookup works as before (id -> description); any
+    use warns once per call site."""
+
+    def _descriptions(self) -> dict:
+        warnings.warn(
+            "repro.cli.EXPERIMENTS is deprecated; use "
+            "repro.experiments.registry (experiment_ids()/descriptions())",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return experiment_registry.descriptions()
+
+    def __getitem__(self, key: str) -> str:
+        return self._descriptions()[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._descriptions())
+
+    def __len__(self) -> int:
+        return len(self._descriptions())
+
+
+#: Deprecated: the registry is the source of truth now.
+EXPERIMENTS = _DeprecatedExperiments()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,15 +71,38 @@ def build_parser() -> argparse.ArgumentParser:
     drive.add_argument("--seconds", type=float, default=None)
     drive.add_argument("--seed", type=int, default=3)
     drive.add_argument("--udp-rate-mbps", type=float, default=50.0)
+    drive.add_argument(
+        "--trace", metavar="PREFIX", default=None,
+        help="record a structured trace; writes PREFIX.jsonl and "
+        "PREFIX.trace.json (chrome://tracing / Perfetto)",
+    )
+    drive.add_argument(
+        "--trace-detail", action="store_true",
+        help="also keep per-packet trace events (large files)",
+    )
+    drive.add_argument(
+        "--profile", action="store_true",
+        help="profile the engine hot loop and print the breakdown",
+    )
+    drive.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="export a metrics-registry snapshot as JSON",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="run a paper table/figure driver"
     )
-    experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+    experiment.add_argument(
+        "id", choices=experiment_registry.experiment_ids()
+    )
     experiment.add_argument("--seed", type=int, default=3)
     experiment.add_argument(
         "--full", action="store_true",
         help="full sweep instead of the quick one",
+    )
+    experiment.add_argument(
+        "--smoke", action="store_true",
+        help="run the driver's CI smoke variant (where provided)",
     )
     experiment.add_argument(
         "--json", action="store_true", help="emit raw JSON instead of tables"
@@ -85,16 +119,32 @@ def build_parser() -> argparse.ArgumentParser:
 
 def cmd_drive(args) -> int:
     from repro.apps.bulk import run_bulk_download
+    from repro.obs.context import ObsConfig
     from repro.scenarios.testbed import TestbedConfig
 
+    if args.trace_detail and args.trace is None:
+        print("error: --trace-detail requires --trace", file=sys.stderr)
+        return 2
+    obs = None
+    want_obs = args.trace is not None or args.profile or args.metrics
+    if want_obs:
+        obs = ObsConfig(
+            trace=args.trace is not None,
+            detail=args.trace_detail,
+            profile=args.profile,
+        )
     config = TestbedConfig(
-        seed=args.seed, scheme=args.scheme, client_speeds_mph=[args.speed]
+        seed=args.seed,
+        scheme=args.scheme,
+        client_speeds_mph=[args.speed],
+        obs=obs,
     )
     result = run_bulk_download(
         config,
         protocol=args.protocol,
         duration_s=args.seconds,
         udp_rate_bps=args.udp_rate_mbps * 1e6,
+        keep_testbed=bool(want_obs),
     )
     print(
         f"{args.scheme} / {args.protocol.upper()} at {args.speed:g} mph "
@@ -106,46 +156,53 @@ def cmd_drive(args) -> int:
         print(f"  timeouts   : {result.tcp_timeouts}")
     series = " ".join(f"{g:.1f}" for g in result.goodput_series_mbps)
     print(f"  goodput/s  : {series}")
+    if want_obs:
+        testbed = result.testbed
+        tracer = testbed.sim.obs.trace
+        if args.trace is not None:
+            tracer.finish()
+            count = tracer.export_jsonl(f"{args.trace}.jsonl")
+            tracer.export_chrome(f"{args.trace}.trace.json")
+            print(f"  trace      : {count} records -> {args.trace}.jsonl")
+            print(f"               chrome view  -> {args.trace}.trace.json")
+        if args.metrics is not None:
+            testbed.sim.obs.metrics.export_json(args.metrics)
+            print(f"  metrics    : {args.metrics}")
+        if args.profile and testbed.sim.obs.profiler is not None:
+            print(testbed.sim.obs.profiler.report())
     return 0
 
 
 def _run_experiment(experiment_id: str, seed: int, quick: bool, jobs: int = 1):
-    import importlib
-
-    module = importlib.import_module(f"repro.experiments.{experiment_id}")
-    run = module.run
-    import inspect
-
-    from repro.experiments.runner import available_jobs, set_default_jobs
-
-    if jobs == 0:
-        jobs = available_jobs()
-    set_default_jobs(jobs)
-
-    kwargs = {}
-    signature = inspect.signature(run)
-    if "seed" in signature.parameters:
-        kwargs["seed"] = seed
-    if "quick" in signature.parameters:
-        kwargs["quick"] = quick
-    if "jobs" in signature.parameters:
-        kwargs["jobs"] = jobs
-    return run(**kwargs)
+    """Legacy helper (kept for callers of the old CLI internals)."""
+    experiment = experiment_registry.get(experiment_id)
+    result = experiment.run(
+        ExperimentConfig(seed=seed, quick=quick), jobs=jobs
+    )
+    return result.data
 
 
 def cmd_experiment(args) -> int:
-    result = _run_experiment(
-        args.id, args.seed, quick=not args.full, jobs=getattr(args, "jobs", 1)
-    )
+    experiment = experiment_registry.get(args.id)
+    try:
+        result = experiment.run(
+            ExperimentConfig(seed=args.seed, quick=not args.full),
+            jobs=getattr(args, "jobs", 1),
+            smoke=args.smoke,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    data = result.data
     if args.json:
-        print(json.dumps(result, default=_json_default, indent=2))
+        print(json.dumps(data, default=_json_default, indent=2))
         return 0
-    if isinstance(result, dict) and "rows" in result:
-        rows = result["rows"]
+    rows = result.rows()
+    if rows is not None:
         columns = list(rows[0].keys()) if rows else []
         print(format_table(rows, columns))
     else:
-        print(json.dumps(_summarize(result), default=_json_default, indent=2))
+        print(json.dumps(_summarize(data), default=_json_default, indent=2))
     return 0
 
 
@@ -174,9 +231,10 @@ def _json_default(value):
 
 
 def cmd_list(_args) -> int:
-    width = max(len(k) for k in EXPERIMENTS)
-    for key in sorted(EXPERIMENTS):
-        print(f"{key.ljust(width)}  {EXPERIMENTS[key]}")
+    descriptions = experiment_registry.descriptions()
+    width = max(len(k) for k in descriptions)
+    for key in sorted(descriptions):
+        print(f"{key.ljust(width)}  {descriptions[key]}")
     return 0
 
 

@@ -196,6 +196,9 @@ class WgttAccessPoint:
             return
         self.alive = False
         self.stats["crashes"] += 1
+        tracer = self._sim.obs.trace
+        if tracer.active:
+            tracer.emit("ap", "ap-crash", track=f"ap/{self.ap_id}", ap=self.ap_id)
         self._heartbeat_timer.stop()
         self._ctrl_watch_timer.stop()
         self._ctrl_last_beat = None
@@ -224,6 +227,9 @@ class WgttAccessPoint:
             return
         self.alive = True
         self.stats["restarts"] += 1
+        tracer = self._sim.obs.trace
+        if tracer.active:
+            tracer.emit("ap", "ap-restart", track=f"ap/{self.ap_id}", ap=self.ap_id)
         self._backhaul.set_node_down(self.ap_id, False)
         self.device.power_on()
         self.device.start_beaconing()
@@ -272,10 +278,16 @@ class WgttAccessPoint:
             # releases them.
             self._holding = True
             self.stats["ctrl_down_detected"] += 1
+            tracer = self._sim.obs.trace
+            if tracer.active:
+                tracer.emit(
+                    "ap", "hold-enter", track=f"ap/{self.ap_id}", ap=self.ap_id
+                )
         self._ctrl_watch_timer.start(interval)
 
     def _exit_hold(self) -> None:
         self._holding = False
+        flushed = 0
         while self._hold_buffer:
             kind, payload, size_bytes = self._hold_buffer.popleft()
             self._backhaul.send(
@@ -286,12 +298,31 @@ class WgttAccessPoint:
                 size_bytes=size_bytes,
             )
             self.stats["hold_flushed"] += 1
+            flushed += 1
+        tracer = self._sim.obs.trace
+        if tracer.active:
+            tracer.emit(
+                "ap",
+                "hold-exit",
+                track=f"ap/{self.ap_id}",
+                ap=self.ap_id,
+                flushed=flushed,
+            )
 
     def _rehome(self, new_controller_id: str) -> None:
         """ctrl-takeover: a promoted standby is the controller now."""
         if new_controller_id != self._controller_id:
             self._controller_id = new_controller_id
             self.stats["rehomed"] += 1
+            tracer = self._sim.obs.trace
+            if tracer.active:
+                tracer.emit(
+                    "ap",
+                    "rehome",
+                    track=f"ap/{self.ap_id}",
+                    ap=self.ap_id,
+                    controller=new_controller_id,
+                )
         self._ctrl_last_beat = self._sim.now
         if self._holding:
             self._exit_hold()
@@ -423,6 +454,18 @@ class WgttAccessPoint:
     def _downlink_data(self, client_id: str, index: int, packet: Packet) -> None:
         queue = self.cyclic_queue(client_id)
         queue.insert(index, packet)
+        tracer = self._sim.obs.trace
+        if tracer.active:
+            tracer.emit(
+                "ap",
+                "cyclic-insert",
+                track=f"ap/{self.ap_id}",
+                detail=True,
+                ap=self.ap_id,
+                client=client_id,
+                index=index,
+                serving=client_id in self._serving,
+            )
         if client_id in self._serving:
             self._refill(client_id, self.device.queue_room(client_id))
             self._check_backpressure(client_id, queue)
@@ -508,6 +551,19 @@ class WgttAccessPoint:
         """
         self.stats["stops_handled"] += 1
         client_id = message.client
+        tracer = self._sim.obs.trace
+        span = (
+            tracer.begin(
+                "ap",
+                "stop-processing",
+                track=f"switch/{client_id}",
+                ap=self.ap_id,
+                client=client_id,
+                switch_id=message.switch_id,
+            )
+            if tracer.active
+            else None
+        )
         self._serving.discard(client_id)
         # Any engaged backpressure is moot now: the controller clears
         # the pacing flag itself when the switch completes.
@@ -543,12 +599,14 @@ class WgttAccessPoint:
             switch_id=message.switch_id,
             from_ap=self.ap_id,
         )
-        self._sim.schedule(
-            delay,
-            lambda: self._backhaul.send_control(
+        def send_start():
+            self._backhaul.send_control(
                 self.ap_id, message.target_ap, "start", start
-            ),
-        )
+            )
+            if span is not None:
+                tracer.end(span, k=k, target_ap=message.target_ap)
+
+        self._sim.schedule(delay, send_start)
 
     def _stop_processing_delay_us(self) -> int:
         """ioctl round trip + user-level Click handling (calibrated)."""
@@ -559,6 +617,20 @@ class WgttAccessPoint:
     def _handle_start(self, message: StartMsg) -> None:
         self.stats["starts_handled"] += 1
         client_id = message.client
+        tracer = self._sim.obs.trace
+        span = (
+            tracer.begin(
+                "ap",
+                "start-processing",
+                track=f"switch/{client_id}",
+                ap=self.ap_id,
+                client=client_id,
+                switch_id=message.switch_id,
+                k=message.index,
+            )
+            if tracer.active
+            else None
+        )
         dropped = self.cyclic_queue(client_id).advance_to(message.index)
         self.stats["cyclic_dropped_on_advance"] += dropped
 
@@ -567,6 +639,8 @@ class WgttAccessPoint:
                 client=client_id, ap=self.ap_id, switch_id=message.switch_id
             )
             self._backhaul.send_control(self.ap_id, self._controller_id, "ack", ack)
+            if span is not None:
+                tracer.end(span)
             self._serving.add(client_id)
             # Continue the client's shared sequence space from k: the
             # 12-bit WGTT index doubles as the MAC sequence number, so
@@ -590,6 +664,20 @@ class WgttAccessPoint:
         self.stats["failovers_handled"] += 1
         client_id = message.client
         queue = self.cyclic_queue(client_id)
+        tracer = self._sim.obs.trace
+        span = (
+            tracer.begin(
+                "ap",
+                "failover-processing",
+                track=f"switch/{client_id}",
+                ap=self.ap_id,
+                client=client_id,
+                switch_id=message.switch_id,
+                dead_ap=message.dead_ap,
+            )
+            if tracer.active
+            else None
+        )
 
         def activate():
             backlog = queue.backlog_packets()
@@ -602,6 +690,8 @@ class WgttAccessPoint:
             self._backhaul.send_control(
                 self.ap_id, self._controller_id, "ack", ack
             )
+            if span is not None:
+                tracer.end(span, k=k)
             self._serving.add(client_id)
             self.device.reset_tx_state(client_id, k)
             self.device.set_session_mode(client_id, "active")
@@ -652,6 +742,18 @@ class WgttAccessPoint:
             heard_at_us=self._sim.now,
         )
         self.stats["ba_forwarded"] += 1
+        tracer = self._sim.obs.trace
+        if tracer.active:
+            tracer.emit(
+                "ap",
+                "ba-forward",
+                track=f"ap/{self.ap_id}",
+                detail=True,
+                ap=self.ap_id,
+                client=client_id,
+                to_ap=serving_ap,
+                start_seq=frame.start_seq,
+            )
         self._backhaul.send(
             self.ap_id,
             serving_ap,

@@ -281,6 +281,15 @@ class WgttController:
 
     def _publish_serving(self, client_id: str, ap_id: str) -> None:
         self.serving_timeline.append((self._sim.now, client_id, ap_id))
+        tracer = self._sim.obs.trace
+        if tracer.active:
+            tracer.emit(
+                "controller",
+                "serving-update",
+                track="serving",
+                client=client_id,
+                ap=ap_id,
+            )
         self.on_serving_update(client_id, ap_id)
         targets = sorted(self._ap_ids)
         if self.ha_peer is not None:
@@ -312,6 +321,15 @@ class WgttController:
             # here instead — explicit, counted, and recoverable by the
             # transport — until the AP clears the signal.
             self.stats["downlink_paced"] += 1
+            tracer = self._sim.obs.trace
+            if tracer.active:
+                tracer.emit(
+                    "controller",
+                    "downlink-paced",
+                    track="downlink",
+                    detail=True,
+                    client=client_id,
+                )
             return
         self.stats["downlink_accepted"] += 1
         index = self._index_alloc.allocate(client_id)
@@ -486,6 +504,9 @@ class WgttController:
             return
         self._dead_aps.add(ap_id)
         self.stats["aps_declared_dead"] += 1
+        tracer = self._sim.obs.trace
+        if tracer.active:
+            tracer.emit("controller", "ap-dead", track="liveness", ap=ap_id)
         # Its CSI history must stop competing in selection immediately
         # (and its windows are freed — the unbounded-growth fix).
         self.selector.forget_ap(ap_id)
@@ -499,6 +520,11 @@ class WgttController:
         if ap_id in self._dead_aps:
             self._dead_aps.discard(ap_id)
             self.stats["aps_recovered"] += 1
+            tracer = self._sim.obs.trace
+            if tracer.active:
+                tracer.emit(
+                    "controller", "ap-recovered", track="liveness", ap=ap_id
+                )
 
     def _ap_rejoined(self, ap_id: str) -> None:
         """ap-hello: a (re)started AP announces itself.
@@ -564,11 +590,30 @@ class WgttController:
             # recently.  Mark it degraded and keep retrying — the
             # client's keepalives will reach somebody as it moves.
             self.stats["failover_no_candidate"] += 1
+            tracer = self._sim.obs.trace
+            if tracer.active:
+                tracer.emit(
+                    "controller",
+                    "failover-no-candidate",
+                    track=f"switch/{client_id}",
+                    client=client_id,
+                    dead_ap=dead_ap,
+                )
             if state.degraded_since is None:
                 state.degraded_since = now
             self._schedule_failover_retry(client_id)
             return
         self.stats["failovers_initiated"] += 1
+        tracer = self._sim.obs.trace
+        if tracer.active:
+            tracer.emit(
+                "controller",
+                "failover-initiated",
+                track=f"switch/{client_id}",
+                client=client_id,
+                dead_ap=dead_ap,
+                target=target,
+            )
         state.last_switch_us = now
         self.coordinator.initiate_failover(client_id, dead_ap, target)
 
@@ -649,6 +694,11 @@ class WgttController:
             return
         self.alive = False
         self.stats["controller_crashes"] += 1
+        tracer = self._sim.obs.trace
+        if tracer.active:
+            tracer.emit(
+                "controller", "ctrl-crash", track="ha", node=self.controller_id
+            )
         for timer in self._selection_timers.values():
             timer.stop()
         self._selection_timers.clear()
@@ -707,6 +757,11 @@ class WgttController:
             return
         self.alive = True
         self.stats["controller_restarts"] += 1
+        tracer = self._sim.obs.trace
+        if tracer.active:
+            tracer.emit(
+                "controller", "ctrl-restart", track="ha", node=self.controller_id
+            )
         self._backhaul.set_node_down(self.controller_id, False)
         if self.hello_on_restart:
             for ap in sorted(self._ap_ids):

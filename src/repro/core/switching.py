@@ -130,6 +130,9 @@ class _Pending:
     record: SwitchRecord
     switch_id: int
     timer: Timer = None  # set right after construction
+    #: Open tracer span id for this handshake (None when tracing is off
+    #: or the pending entry was rebuilt from a checkpoint).
+    span: Optional[int] = None
 
 
 class SwitchCoordinator:
@@ -196,6 +199,17 @@ class SwitchCoordinator:
         )
         pending = _Pending(record=record, switch_id=switch_id)
         pending.timer = Timer(self._sim, lambda: self._timeout(client_id))
+        tracer = self._sim.obs.trace
+        if tracer.active:
+            pending.span = tracer.begin(
+                "controller",
+                "failover" if failover else "switch",
+                track=f"switch/{client_id}",
+                client=client_id,
+                from_ap=from_ap,
+                to_ap=to_ap,
+                switch_id=switch_id,
+            )
         self._pending[client_id] = pending
         return pending
 
@@ -247,6 +261,10 @@ class SwitchCoordinator:
         record.outcome = (
             OUTCOME_FAILED_OVER if record.failover else OUTCOME_COMPLETED
         )
+        if pending.span is not None:
+            self._sim.obs.trace.end(
+                pending.span, outcome=record.outcome, retries=record.retries
+            )
         self.history.append(record)
         self.on_complete(record)
 
@@ -268,6 +286,10 @@ class SwitchCoordinator:
         record.outcome = OUTCOME_ABORTED
         record.abort_reason = reason
         self.aborted += 1
+        if pending.span is not None:
+            self._sim.obs.trace.end(
+                pending.span, outcome=record.outcome, reason=reason
+            )
         self.history.append(record)
         self.on_abort(record)
         return record
@@ -289,15 +311,33 @@ class SwitchCoordinator:
             return
         record = pending.record
         record.retries += 1
+        tracer = self._sim.obs.trace
         if record.retries > self._config.switch_retry_limit:
             # Give up: release the slot so selection can try again.
             del self._pending[client_id]
             self.abandoned += 1
             record.outcome = OUTCOME_ABORTED
             record.abort_reason = "retry limit exhausted"
+            if pending.span is not None:
+                tracer.end(
+                    pending.span,
+                    outcome=record.outcome,
+                    reason=record.abort_reason,
+                    retries=record.retries,
+                )
             self.history.append(record)
             self.on_abort(record)
             return
+        if tracer.active:
+            tracer.emit(
+                "controller",
+                "switch-retry",
+                track=f"switch/{client_id}",
+                client=client_id,
+                switch_id=pending.switch_id,
+                retries=record.retries,
+                failover=record.failover,
+            )
         if record.failover:
             self._send_failover(pending)
         else:

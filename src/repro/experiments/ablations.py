@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 from repro.core.config import WgttConfig
 from repro.experiments.common import mean, seeds_for
 from repro.scenarios.testbed import TestbedConfig, build_testbed
+from repro.experiments.registry import register_experiment
 
 
 def run_variant(
@@ -88,6 +89,7 @@ VARIANTS = (
 )
 
 
+@register_experiment("ablations", "WGTT design-choice ablations")
 def run(quick: bool = True, variants: tuple = VARIANTS) -> Dict:
     seeds = seeds_for(quick)
     duration = 8.0 if quick else 10.0

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 from repro.experiments.common import mean, seeds_for
 from repro.experiments.runner import run_grid
 from repro.scenarios.testbed import TestbedConfig, build_testbed
+from repro.experiments.registry import register_experiment
 
 #: Spacings to sweep; the paper's testbed is 7.5 m.
 SPACINGS_M = (5.0, 7.5, 10.0, 15.0)
@@ -47,6 +48,7 @@ def run_spacing(
     }
 
 
+@register_experiment("ext_density", "throughput vs AP deployment density")
 def run(
     quick: bool = True, speed_mph: float = 15.0, jobs: Optional[int] = None
 ) -> Dict:

@@ -35,6 +35,7 @@ from repro.metrics.recorder import FailoverAudit
 from repro.scenarios.testbed import TestbedConfig, build_testbed
 from repro.sim.engine import SECOND
 from repro.sim.rng import RngRegistry
+from repro.experiments.registry import register_experiment
 
 #: AP crash arrival rates to sweep (per second of sim time).
 CRASH_RATES_PER_S = (0.1, 0.3)
@@ -121,6 +122,11 @@ def run_cell(
     }
 
 
+@register_experiment(
+    "ext_faults",
+    "chaos sweep: crash rate x partition duration",
+    smoke="run_smoke",
+)
 def run(quick: bool = True, jobs: Optional[int] = None) -> Dict:
     seeds = seeds_for(quick)
     duration_s = 8.0 if quick else 12.0

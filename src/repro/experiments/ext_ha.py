@@ -37,6 +37,7 @@ from repro.faults.plan import ControllerCrash, FaultPlan
 from repro.metrics.recorder import FailoverAudit, HaAudit
 from repro.scenarios.testbed import TestbedConfig, build_testbed
 from repro.sim.engine import MS, SECOND
+from repro.experiments.registry import register_experiment
 
 #: Checkpoint shipping intervals to sweep (ms).
 CHECKPOINT_INTERVALS_MS = (25, 100, 400)
@@ -94,6 +95,7 @@ def run_cell(
     }
 
 
+@register_experiment("ext_ha", "controller-kill sweep under warm-standby HA", smoke="run_smoke")
 def run(quick: bool = True, jobs: Optional[int] = None) -> Dict:
     seeds = seeds_for(quick)
     duration_s = 5.0 if quick else 8.0

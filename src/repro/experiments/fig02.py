@@ -13,8 +13,10 @@ from typing import Dict, List
 from repro.phy.esnr import effective_snr_db
 from repro.scenarios.testbed import TestbedConfig, build_testbed
 from repro.sim.engine import MS, SECOND
+from repro.experiments.registry import register_experiment
 
 
+@register_experiment("fig02", "ESNR dynamics / best-AP flip rate")
 def run(seed: int = 3, speed_mph: float = 25.0, quick: bool = False) -> Dict:
     """Returns the per-AP ESNR series and best-AP flip statistics."""
     config = TestbedConfig(

@@ -16,6 +16,7 @@ from repro.baselines.enhanced_80211r import stock_80211r_config
 from repro.metrics.capacity import CapacityLossMeter
 from repro.scenarios.presets import two_ap_config
 from repro.sim.engine import SECOND
+from repro.experiments.registry import register_experiment
 
 
 def run_speed(seed: int, speed_mph: float, udp_rate_bps: float = 30e6) -> Dict:
@@ -53,6 +54,7 @@ def run_speed(seed: int, speed_mph: float, udp_rate_bps: float = 30e6) -> Dict:
     }
 
 
+@register_experiment("fig04", "stock 802.11r handover failure")
 def run(seed: int = 3, quick: bool = False) -> Dict:
     """Both drive-by speeds; the paper's qualitative claims are that the
     20 mph handover fails and the 5 mph one is late, with capacity loss

@@ -13,8 +13,10 @@ import numpy as np
 
 from repro.phy.esnr import effective_snr_db
 from repro.scenarios.testbed import TestbedConfig, build_testbed
+from repro.experiments.registry import register_experiment
 
 
+@register_experiment("fig10", "ESNR coverage heatmap")
 def run(
     seed: int = 3,
     x_step_m: float = 1.0,

@@ -17,6 +17,7 @@ from repro.apps.bulk import run_bulk_download
 from repro.experiments.common import mean, seeds_for
 from repro.experiments.runner import run_grid
 from repro.scenarios.testbed import TestbedConfig
+from repro.experiments.registry import register_experiment
 
 FULL_SPEEDS = (0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 35.0)
 QUICK_SPEEDS = (5.0, 15.0, 25.0)
@@ -55,6 +56,7 @@ def run_cell(
     )
 
 
+@register_experiment("fig13", "throughput vs speed, both schemes")
 def run(
     quick: bool = True,
     protocols: tuple = ("tcp", "udp"),

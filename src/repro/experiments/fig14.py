@@ -12,6 +12,7 @@ from typing import Dict, List, Tuple
 
 from repro.scenarios.testbed import TestbedConfig, build_testbed
 from repro.sim.engine import MS, SECOND, Timer
+from repro.experiments.registry import register_experiment
 
 
 def run_scheme(
@@ -66,6 +67,7 @@ def run_scheme(
     }
 
 
+@register_experiment("fig14", "TCP timeseries + association timeline")
 def run(seed: int = 3, protocol: str = "tcp", quick: bool = False) -> Dict:
     duration = 6.0 if quick else 10.0
     return {

@@ -10,8 +10,10 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.experiments.fig14 import run_scheme
+from repro.experiments.registry import register_experiment
 
 
+@register_experiment("fig15", "UDP timeseries + association timeline")
 def run(seed: int = 3, quick: bool = False) -> Dict:
     duration = 6.0 if quick else 10.0
     return {

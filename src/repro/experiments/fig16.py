@@ -13,6 +13,7 @@ from typing import Dict
 from repro.metrics.recorder import RateUsageLog
 from repro.metrics.stats import cdf_points, percentile
 from repro.scenarios.testbed import TestbedConfig, build_testbed
+from repro.experiments.registry import register_experiment
 
 
 def run_scheme(
@@ -39,6 +40,7 @@ def run_scheme(
     }
 
 
+@register_experiment("fig16", "link bit-rate CDF")
 def run(seed: int = 3, protocol: str = "tcp", quick: bool = False) -> Dict:
     duration = 6.0 if quick else 10.0
     return {

@@ -12,6 +12,7 @@ from typing import Dict, List
 from repro.experiments.common import mean, seeds_for
 from repro.scenarios.presets import multi_client_config
 from repro.scenarios.testbed import build_testbed
+from repro.experiments.registry import register_experiment
 
 
 def run_cell(
@@ -48,6 +49,7 @@ def run_cell(
     return mean(per_client)
 
 
+@register_experiment("fig17", "per-client throughput, 1-3 clients")
 def run(quick: bool = True) -> Dict:
     seeds = seeds_for(quick)
     counts = (1, 2, 3)

@@ -14,6 +14,7 @@ from repro.metrics.recorder import UplinkLossMeter
 from repro.scenarios.presets import multi_client_config
 from repro.scenarios.testbed import build_testbed
 from repro.sim.engine import SECOND, Timer
+from repro.experiments.registry import register_experiment
 
 
 def run_scheme(
@@ -72,6 +73,7 @@ def run_scheme(
     }
 
 
+@register_experiment("fig18", "multi-client uplink loss")
 def run(seed: int = 3, quick: bool = False) -> Dict:
     duration = 6.0 if quick else 9.0
     return {

@@ -18,6 +18,7 @@ from repro.scenarios.presets import (
     parallel_config,
 )
 from repro.scenarios.testbed import build_testbed
+from repro.experiments.registry import register_experiment
 
 CASES: Dict[str, Callable] = {
     "following": following_config,
@@ -56,6 +57,7 @@ def run_cell(
     return mean(values)
 
 
+@register_experiment("fig20", "driving-pattern cases")
 def run(quick: bool = True) -> Dict:
     seeds = seeds_for(quick)
     rows: List[Dict] = []

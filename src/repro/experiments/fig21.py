@@ -16,6 +16,7 @@ from repro.phy.esnr import effective_snr_db
 from repro.phy.per import best_rate_bps
 from repro.scenarios.testbed import TestbedConfig, build_testbed
 from repro.sim.engine import MS, SECOND
+from repro.experiments.registry import register_experiment
 
 FULL_WINDOWS_MS = (2, 5, 10, 20, 50, 100, 200, 400)
 QUICK_WINDOWS_MS = (2, 10, 100)
@@ -70,6 +71,7 @@ def record_traces(
     return esnr_trace, rate_trace
 
 
+@register_experiment("fig21", "selection-window sweep")
 def run(seed: int = 3, quick: bool = False, speed_mph: float = 15.0) -> Dict:
     windows = QUICK_WINDOWS_MS if quick else FULL_WINDOWS_MS
     duration = 4.0 if quick else 8.0

@@ -11,6 +11,7 @@ from typing import Dict, List
 from repro.core.config import WgttConfig
 from repro.experiments.common import mean, seeds_for
 from repro.scenarios.testbed import TestbedConfig, build_testbed
+from repro.experiments.registry import register_experiment
 
 HYSTERESIS_MS = (40, 80, 120)
 
@@ -31,6 +32,7 @@ def run_cell(seed: int, hysteresis_ms: int, duration_s: float = 10.0) -> Dict:
     }
 
 
+@register_experiment("fig22", "time-hysteresis sweep")
 def run(quick: bool = True) -> Dict:
     seeds = seeds_for(quick)
     duration = 8.0 if quick else 10.0

@@ -19,6 +19,7 @@ from repro.scenarios.presets import (
 )
 from repro.scenarios.testbed import build_testbed
 from repro.sim.engine import SECOND
+from repro.experiments.registry import register_experiment
 
 
 def run_cell(
@@ -49,6 +50,7 @@ def run_cell(
     }
 
 
+@register_experiment("fig23", "dense vs sparse segments")
 def run(quick: bool = True, jobs: Optional[int] = None) -> Dict:
     seeds = seeds_for(quick)
     speeds = (5.0, 10.0) if quick else (2.0, 5.0, 10.0)

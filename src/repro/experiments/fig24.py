@@ -18,6 +18,7 @@ from repro.apps.conferencing import (
 )
 from repro.metrics.stats import cdf_points, percentile
 from repro.scenarios.testbed import TestbedConfig, build_testbed
+from repro.experiments.registry import register_experiment
 
 
 def run_call(
@@ -61,6 +62,7 @@ def run_call(
     }
 
 
+@register_experiment("fig24", "conferencing fps CDF")
 def run(seed: int = 3, quick: bool = False) -> Dict:
     duration = 6.0 if quick else 10.0
     speeds = (15.0,) if quick else (5.0, 15.0)

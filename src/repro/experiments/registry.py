@@ -1,0 +1,216 @@
+"""Experiment registry: decorator-based driver registration.
+
+The CLI used to carry a hand-maintained ``EXPERIMENTS`` dict that had
+to be edited in lockstep with every new driver module.  Now each driver
+registers itself::
+
+    @register_experiment("fig13", "throughput vs speed, both schemes")
+    def run(quick=True, protocols=("tcp", "udp"), jobs=None):
+        ...
+
+and the CLI discovers ids from the registry (:func:`discover` imports
+every ``repro.experiments`` submodule once so decorators have run).
+Drivers keep their historical ``run`` signatures; the registry adapts
+them to the uniform call ``experiment.run(cfg, jobs=..., smoke=...)``
+by matching keyword names against each driver's signature — the same
+adaptation the CLI previously inlined.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "Experiment",
+    "register_experiment",
+    "discover",
+    "get",
+    "experiment_ids",
+    "descriptions",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Uniform run parameters handed to every driver."""
+
+    # Not a pytest test class despite living near test-adjacent code.
+    __test__ = False
+
+    seed: int = 3
+    #: Quick sweep (CI-sized) vs the full paper sweep.
+    quick: bool = True
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform wrapper around whatever a driver returns."""
+
+    __test__ = False
+
+    experiment_id: str
+    #: The driver's raw return value (dict of rows/series, usually).
+    data: Any
+    #: Config the run used.
+    config: ExperimentConfig = field(default_factory=ExperimentConfig)
+    #: True when this was the smoke variant.
+    smoke: bool = False
+
+    def rows(self) -> Optional[List[dict]]:
+        """The tabular rows, when the driver produced any."""
+        if isinstance(self.data, dict):
+            rows = self.data.get("rows")
+            if isinstance(rows, list):
+                return rows
+        return None
+
+
+class Experiment:
+    """One registered driver: id, description, adapted entry points."""
+
+    def __init__(
+        self,
+        experiment_id: str,
+        description: str,
+        fn: Callable[..., Any],
+        smoke: Optional[str] = None,
+    ):
+        self.experiment_id = experiment_id
+        self.description = description
+        self._fn = fn
+        self._module = fn.__module__
+        #: Name of a module-level smoke function (resolved lazily: the
+        #: attribute is usually defined *after* the decorated run).
+        self._smoke_name = smoke
+
+    def _adapt(self, fn: Callable[..., Any], cfg: ExperimentConfig, jobs: int):
+        kwargs: Dict[str, Any] = {}
+        parameters = inspect.signature(fn).parameters
+        if "seed" in parameters:
+            kwargs["seed"] = cfg.seed
+        if "quick" in parameters:
+            kwargs["quick"] = cfg.quick
+        if "jobs" in parameters:
+            kwargs["jobs"] = jobs
+        return fn(**kwargs)
+
+    def _smoke_fn(self) -> Optional[Callable[..., Any]]:
+        if self._smoke_name is None:
+            return None
+        import importlib
+
+        module = importlib.import_module(self._module)
+        return getattr(module, self._smoke_name)
+
+    def run(
+        self,
+        cfg: Optional[ExperimentConfig] = None,
+        *,
+        jobs: int = 1,
+        smoke: bool = False,
+    ) -> ExperimentResult:
+        """Execute the driver under the uniform interface."""
+        cfg = cfg if cfg is not None else ExperimentConfig()
+        from repro.experiments.runner import available_jobs, set_default_jobs
+
+        if jobs == 0:
+            jobs = available_jobs()
+        set_default_jobs(jobs)
+        fn = self._fn
+        if smoke:
+            smoke_fn = self._smoke_fn()
+            if smoke_fn is None:
+                raise ValueError(
+                    f"experiment {self.experiment_id!r} has no smoke variant"
+                )
+            fn = smoke_fn
+        data = self._adapt(fn, cfg, jobs)
+        return ExperimentResult(
+            experiment_id=self.experiment_id,
+            data=data,
+            config=cfg,
+            smoke=smoke,
+        )
+
+    @property
+    def has_smoke(self) -> bool:
+        return self._smoke_name is not None
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+_DISCOVERED = False
+
+
+def register_experiment(
+    experiment_id: str,
+    description: str,
+    smoke: Optional[str] = None,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Class the decorated function as experiment ``experiment_id``.
+
+    Returns the function unchanged, so legacy ``module.run(...)`` calls
+    keep working.  ``smoke`` names a module-level smoke-variant function
+    (looked up lazily — it may be defined below the decorated run).
+    """
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        existing = _REGISTRY.get(experiment_id)
+        if existing is not None and existing._fn is not fn:
+            raise ValueError(
+                f"experiment id {experiment_id!r} registered twice "
+                f"({existing._module} and {fn.__module__})"
+            )
+        _REGISTRY[experiment_id] = Experiment(
+            experiment_id, description, fn, smoke=smoke
+        )
+        return fn
+
+    return decorate
+
+
+#: Submodules of repro.experiments that are infrastructure, not drivers.
+_NON_DRIVER_MODULES = frozenset({"common", "runner", "registry"})
+
+
+def discover() -> Dict[str, Experiment]:
+    """Import every driver module once; return the filled registry."""
+    global _DISCOVERED
+    if not _DISCOVERED:
+        import importlib
+        import pkgutil
+
+        import repro.experiments as package
+
+        for info in sorted(
+            pkgutil.iter_modules(package.__path__), key=lambda i: i.name
+        ):
+            if info.name in _NON_DRIVER_MODULES or info.name.startswith("_"):
+                continue
+            importlib.import_module(f"repro.experiments.{info.name}")
+        _DISCOVERED = True
+    return dict(_REGISTRY)
+
+
+def get(experiment_id: str) -> Experiment:
+    registry = discover()
+    try:
+        return registry[experiment_id]
+    except KeyError:
+        raise KeyError(f"unknown experiment {experiment_id!r}") from None
+
+
+def experiment_ids() -> List[str]:
+    return sorted(discover())
+
+
+def descriptions() -> Dict[str, str]:
+    """id -> description for every registered experiment (sorted)."""
+    registry = discover()
+    return {
+        experiment_id: registry[experiment_id].description
+        for experiment_id in sorted(registry)
+    }

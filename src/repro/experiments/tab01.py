@@ -11,6 +11,7 @@ from typing import Dict, List
 
 from repro.metrics.stats import summarize
 from repro.scenarios.testbed import TestbedConfig, build_testbed
+from repro.experiments.registry import register_experiment
 
 
 def run_rate(seed: int, rate_mbps: float, duration_s: float = 8.0) -> Dict:
@@ -31,6 +32,7 @@ def run_rate(seed: int, rate_mbps: float, duration_s: float = 8.0) -> Dict:
     }
 
 
+@register_experiment("tab01", "switching-protocol execution time")
 def run(seed: int = 3, quick: bool = False) -> Dict:
     rates = [50, 70, 90] if quick else [50, 60, 70, 80, 90]
     rows: List[Dict] = [run_rate(seed, rate) for rate in rates]

@@ -11,6 +11,7 @@ from typing import Dict
 
 from repro.metrics.accuracy import SwitchingAccuracyMeter
 from repro.scenarios.testbed import TestbedConfig, build_testbed
+from repro.experiments.registry import register_experiment
 
 
 def run_cell(
@@ -29,6 +30,7 @@ def run_cell(
     return meter.accuracy()
 
 
+@register_experiment("tab02", "switching accuracy")
 def run(seed: int = 3, quick: bool = False) -> Dict:
     duration = 6.0 if quick else 10.0
     rows = []

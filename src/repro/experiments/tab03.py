@@ -18,6 +18,7 @@ from typing import Dict, List
 
 from repro.mac.frames import BlockAckFrame
 from repro.scenarios.testbed import TestbedConfig, build_testbed
+from repro.experiments.registry import register_experiment
 
 
 def run_rate(seed: int, rate_mbps: float, duration_s: float = 8.0) -> Dict:
@@ -70,6 +71,7 @@ def run_rate(seed: int, rate_mbps: float, duration_s: float = 8.0) -> Dict:
     }
 
 
+@register_experiment("tab03", "block-ACK collision rate")
 def run(seed: int = 3, quick: bool = False) -> Dict:
     rates = [70, 90] if quick else [70, 80, 90]
     rows: List[Dict] = [run_rate(seed, rate) for rate in rates]

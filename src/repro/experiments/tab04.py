@@ -14,6 +14,7 @@ from typing import Dict, List
 from repro.apps.video import VideoPlayer
 from repro.scenarios.testbed import TestbedConfig, build_testbed
 from repro.sim.engine import SECOND
+from repro.experiments.registry import register_experiment
 
 SPEEDS = (5.0, 10.0, 15.0, 20.0)
 
@@ -35,6 +36,7 @@ def run_cell(seed: int, scheme: str, speed_mph: float) -> Dict:
     }
 
 
+@register_experiment("tab04", "video rebuffer ratio")
 def run(seed: int = 3, quick: bool = False) -> Dict:
     speeds = (5.0, 15.0) if quick else SPEEDS
     rows: List[Dict] = []

@@ -12,6 +12,7 @@ from typing import Dict, List
 from repro.apps.web import PageLoad
 from repro.scenarios.testbed import TestbedConfig, build_testbed
 from repro.sim.engine import SECOND
+from repro.experiments.registry import register_experiment
 
 SPEEDS = (5.0, 10.0, 15.0, 20.0)
 
@@ -48,6 +49,7 @@ def run_cell(seed: int, scheme: str, speed_mph: float) -> float:
     return sum(times) / len(times)
 
 
+@register_experiment("tab05", "web page load time")
 def run(seed: int = 3, quick: bool = False) -> Dict:
     speeds = (5.0, 15.0) if quick else SPEEDS
     rows: List[Dict] = []

@@ -96,6 +96,11 @@ class FaultInjector:
 
     def _log(self, action: str, subject: str) -> None:
         self.events.append((self.sim.now, action, subject))
+        tracer = self.sim.obs.trace
+        if tracer.active:
+            tracer.emit(
+                "faults", "fault", track="faults", action=action, subject=subject
+            )
 
     def _ap(self, ap_id: str):
         try:

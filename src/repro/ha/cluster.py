@@ -78,6 +78,15 @@ class HaCluster:
         active = self.active_controller()
         if active is None:
             self.lost_downlink += 1
+            tracer = self._sim.obs.trace
+            if tracer.active:
+                tracer.emit(
+                    "ha",
+                    "downlink-lost",
+                    track="ha",
+                    detail=True,
+                    client=packet.dst,
+                )
             return
         active.accept_downlink(packet)
 
@@ -102,6 +111,15 @@ class HaCluster:
                 size_bytes=len(data),
             )
             self.events.append((self._sim.now, "checkpoint-shipped"))
+            tracer = self._sim.obs.trace
+            if tracer.active:
+                tracer.emit(
+                    "ha",
+                    "checkpoint-ship",
+                    track="ha",
+                    detail=True,
+                    bytes=len(data),
+                )
         self._ship_timer.start(self._config.checkpoint_interval_us)
 
     def _standby_promoted(self) -> None:

@@ -131,8 +131,26 @@ class StandbyController(WgttController):
         self.promoted_at_us = self._sim.now
         self.stats["promotions"] += 1
         self._primary_watch_timer.stop()
+        tracer = self._sim.obs.trace
+        span = (
+            tracer.begin(
+                "ha", "promotion", track="ha", node=self.controller_id
+            )
+            if tracer.active
+            else None
+        )
 
         checkpoint = self.last_checkpoint
+        restore_span = (
+            tracer.begin(
+                "ha",
+                "checkpoint-restore",
+                track="ha",
+                from_checkpoint=checkpoint is not None,
+            )
+            if tracer.active
+            else None
+        )
         if checkpoint is not None:
             restore_controller(self, checkpoint)
             # The checkpoint is up to one shipping interval stale: the
@@ -167,6 +185,8 @@ class StandbyController(WgttController):
                 ):
                     state.serving_ap = ap_id
         self._warm_serving.clear()
+        if restore_span is not None:
+            tracer.end(restore_span, clients=len(self._clients))
 
         # Innocent-until-silent: checkpointed beat times are up to a
         # checkpoint interval + an outage old; judging them against the
@@ -174,6 +194,13 @@ class StandbyController(WgttController):
         self.liveness.reset_clock(self._sim.now)
 
         # Announce, re-publish, heartbeat.
+        announce_span = (
+            tracer.begin(
+                "ha", "takeover-announce", track="ha", aps=len(self._ap_ids)
+            )
+            if tracer.active
+            else None
+        )
         for ap_id in sorted(self._ap_ids):
             self._backhaul.send_control(
                 self.controller_id, ap_id, "ctrl-takeover", self.controller_id
@@ -182,8 +209,12 @@ class StandbyController(WgttController):
             self._publish_serving(
                 client_id, self._clients[client_id].serving_ap
             )
+        if announce_span is not None:
+            tracer.end(announce_span)
         self.start_ctrl_heartbeats()
         self.on_promote()
+        if span is not None:
+            tracer.end(span, clients=len(self._clients))
 
     def _register_from_directory(self, client_id: str) -> None:
         """register_association for a directory record already admitted

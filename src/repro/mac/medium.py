@@ -155,6 +155,17 @@ class WirelessMedium:
         self._transmissions.append(tx)
         self.frames_sent += 1
         self.airtime_us += duration
+        tracer = self._sim.obs.trace
+        if tracer.active:
+            tracer.emit(
+                "medium",
+                "air-tx",
+                track=f"air/{tx.channel}",
+                detail=True,
+                sender=tx.sender,
+                frame=type(frame).__name__,
+                duration_us=duration,
+            )
         self._sim.schedule(duration, lambda: self._complete(tx))
         self._prune(now)
         return tx

@@ -46,7 +46,7 @@ from repro.mac.medium import MacEntity, WirelessMedium
 from repro.mac.rate_control import MinstrelRateController
 from repro.net.packet import Packet
 from repro.net.queues import DropTailQueue
-from repro.phy.mcs import BASIC_RATE, Mcs
+from repro.phy.mcs import BASIC_RATE
 from repro.phy.per import (
     mpdu_payload_success_probability,
     preamble_success_probability,
@@ -154,9 +154,6 @@ class WifiDevice(MacEntity):
         self.on_beacon: Callable[[BeaconFrame, float], None] = lambda f, rssi: None
         self.on_mgmt: Callable[[MgmtFrame], None] = lambda f: None
         self.on_refill_needed: Callable[[str, int], None] = lambda peer, room: None
-        self.on_rate_used: Callable[[str, Mcs, int], None] = (
-            lambda peer, mcs, count: None
-        )
         self.on_mpdus_dropped: Callable[[str, List[Packet]], None] = (
             lambda peer, pkts: None
         )
@@ -409,7 +406,21 @@ class WifiDevice(MacEntity):
         self._medium.transmit(frame)
         self.stats["ampdus_sent"] += 1
         self.stats["mpdus_sent"] += len(mpdus)
-        self.on_rate_used(session.peer, mcs, len(mpdus))
+        tracer = self._sim.obs.trace
+        if tracer.active:
+            # Replaces the old monkey-patched on_rate_used device hook:
+            # RateUsageLog subscribes to this event by name.
+            tracer.emit(
+                "mac",
+                "ampdu-tx",
+                track=f"mac/{self.node_id}",
+                detail=True,
+                node=self.node_id,
+                peer=session.peer,
+                mcs=mcs.index,
+                rate_bps=mcs.data_rate_bps,
+                count=len(mpdus),
+            )
         ba_round_trip = (
             frame.duration_us()
             + SIFS_US
@@ -431,6 +442,16 @@ class WifiDevice(MacEntity):
         self.on_ampdu_result(session.peer, len(frame.mpdus), 0)
         self.dcf.notify_failure()
         self.stats["ba_timeouts"] += 1
+        tracer = self._sim.obs.trace
+        if tracer.active:
+            tracer.emit(
+                "mac",
+                "ba-timeout",
+                track=f"mac/{self.node_id}",
+                node=self.node_id,
+                peer=session.peer,
+                mpdus=len(frame.mpdus),
+            )
         self._kick()
 
     def _mgmt_timeout(self) -> None:

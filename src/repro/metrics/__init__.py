@@ -2,7 +2,7 @@
 
 from repro.metrics.accuracy import SwitchingAccuracyMeter
 from repro.metrics.capacity import CapacityLossMeter, selector_capacity_loss_mbps
-from repro.metrics.recorder import RateUsageLog, UplinkLossMeter
+from repro.obs.recorders import RateUsageLog, UplinkLossMeter
 from repro.metrics.stats import (
     cdf_points,
     mean,

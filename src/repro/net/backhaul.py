@@ -39,6 +39,13 @@ RELIABLE_KINDS: FrozenSet[str] = frozenset(
     {"heartbeat", "ctrl-heartbeat", "ha-checkpoint", "ctrl-takeover"}
 )
 
+#: Message kinds whose "tx" trace events are per-packet volume: they
+#: are tagged ``detail`` so a default (non-detail) traced drive keeps
+#: only the protocol-level control handshakes.
+_DETAIL_KINDS: FrozenSet[str] = frozenset(
+    {"data", "csi", "uplink", "ba-fwd", "heartbeat", "ctrl-heartbeat", "keepalive"}
+)
+
 
 @dataclass
 class BackhaulStats:
@@ -219,8 +226,31 @@ class EthernetBackhaul:
         if dst_id not in self._handlers:
             raise KeyError(f"unknown backhaul destination {dst_id!r}")
         self.stats.record(kind, size_bytes, control)
+        tracer = self._sim.obs.trace
+        if tracer.active:
+            tracer.emit(
+                "backhaul",
+                "tx",
+                track=f"port/{src_id}",
+                detail=kind in _DETAIL_KINDS,
+                src=src_id,
+                dst=dst_id,
+                msg=kind,
+                bytes=size_bytes,
+                control=control,
+            )
         if self._fault_blocked(src_id, dst_id):
             self.stats.fault_dropped += 1
+            if tracer.active:
+                tracer.emit(
+                    "backhaul",
+                    "fault-drop",
+                    track=f"port/{src_id}",
+                    detail=kind in _DETAIL_KINDS,
+                    src=src_id,
+                    dst=dst_id,
+                    msg=kind,
+                )
             return
         # Liveness and HA traffic rides a reliable transport in a real
         # deployment (the paper's sta-sync uses per-peer TCP); exempting
@@ -232,6 +262,15 @@ class EthernetBackhaul:
         if self.loss_rate > 0.0 and kind not in RELIABLE_KINDS:
             if self._loss_draw() < self.loss_rate:
                 self.dropped += 1
+                if tracer.active:
+                    tracer.emit(
+                        "backhaul",
+                        "loss-drop",
+                        track=f"port/{src_id}",
+                        src=src_id,
+                        dst=dst_id,
+                        msg=kind,
+                    )
                 return
         serialization_us = int(size_bytes * 8 / self.bandwidth_bps * 1e6)
         if control:

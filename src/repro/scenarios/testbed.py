@@ -34,6 +34,8 @@ from repro.mobility.road import Position, Road
 from repro.mobility.vehicle import VehicleTrack
 from repro.net.backhaul import EthernetBackhaul
 from repro.net.packet import IpIdAllocator, Packet
+from repro.obs.context import ObsConfig, ObsContext
+from repro.obs.metrics import metric_key
 from repro.sim.engine import SECOND, Simulator
 from repro.sim.rng import RngRegistry
 from repro.transport.flows import Host
@@ -100,6 +102,10 @@ class TestbedConfig:
     #: :class:`FaultInjector` is built and armed at construction, so
     #: the plan's crashes/partitions/jitter fire during the run.
     fault_plan: Optional["FaultPlan"] = None
+    #: Observability switches (tracing / detail / profiling).  None
+    #: builds the default everything-off context — the configuration
+    #: under which runs are bit-identical to the pre-obs tree.
+    obs: Optional[ObsConfig] = None
 
     def ap_channel(self, index: int) -> int:
         if self.channel_plan is None:
@@ -207,7 +213,8 @@ class Testbed:
         if config.scheme not in ("wgtt", "baseline"):
             raise ValueError(f"unknown scheme {config.scheme!r}")
         self.config = config
-        self.sim = Simulator()
+        self.obs = ObsContext(config.obs)
+        self.sim = Simulator(obs=self.obs)
         self.rng = RngRegistry(config.seed)
         road_length = config.road_length_m()
         self.road = Road(length_m=road_length)
@@ -249,6 +256,8 @@ class Testbed:
         self.fault_injector: Optional[FaultInjector] = None
         if config.fault_plan is not None:
             self.install_fault_plan(config.fault_plan)
+
+        self._register_obs_collectors()
 
     # ------------------------------------------------------------------
     # construction
@@ -354,6 +363,101 @@ class Testbed:
             )
             for speed in self.config.client_speeds_mph
         ]
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def _register_obs_collectors(self) -> None:
+        """Wire the scattered subsystem counters into the metrics
+        registry as snapshot-time collectors.
+
+        Collectors read the existing ``stats`` dicts only when a
+        snapshot is requested, so the hot paths keep their plain
+        ``dict[key] += 1`` increments — zero added cost and zero
+        behaviour risk for the bit-identity contract.
+        """
+        registry = self.obs.metrics
+        registry.register_collector(self._collect_backhaul_metrics)
+        registry.register_collector(self._collect_medium_metrics)
+        registry.register_collector(self._collect_client_metrics)
+        if self.controller is not None:
+            registry.register_collector(self._collect_controller_metrics)
+            registry.register_collector(self._collect_ap_metrics)
+        if self.ha is not None:
+            registry.register_collector(self._collect_ha_metrics)
+
+    def _collect_backhaul_metrics(self) -> Dict[str, object]:
+        stats = self.backhaul.stats
+        out: Dict[str, object] = {
+            "backhaul_messages": stats.messages,
+            "backhaul_bytes": stats.bytes,
+            "backhaul_control_messages": stats.control_messages,
+            "backhaul_fault_dropped": stats.fault_dropped,
+            "backhaul_loss_dropped": self.backhaul.dropped,
+        }
+        for kind, count in stats.by_kind.items():
+            out[metric_key("backhaul_messages_by_kind", kind=kind)] = count
+        return out
+
+    def _collect_medium_metrics(self) -> Dict[str, object]:
+        return {
+            "medium_frames_sent": self.medium.frames_sent,
+            "medium_airtime_us": self.medium.airtime_us,
+            "engine_events_processed": self.sim.events_processed,
+            "engine_compactions": self.sim.compactions,
+        }
+
+    def _collect_client_metrics(self) -> Dict[str, object]:
+        out: Dict[str, object] = {}
+        for client in self.clients:
+            cid = client.client_id
+            out[metric_key("client_uplink_dropped", client=cid)] = (
+                client.uplink_dropped
+            )
+            out[metric_key("client_keepalives_sent", client=cid)] = (
+                client.keepalives_sent
+            )
+        return out
+
+    def _collect_controller_metrics(self) -> Dict[str, object]:
+        controller = self.controller
+        out: Dict[str, object] = {
+            metric_key("controller_stat", name=name): value
+            for name, value in controller.stats.items()
+        }
+        out["dedup_accepted"] = controller.dedup.accepted
+        out["dedup_duplicates"] = controller.dedup.duplicates
+        out["switches_completed"] = len(controller.coordinator.history)
+        out["switches_abandoned"] = controller.coordinator.abandoned
+        out["switches_aborted"] = controller.coordinator.aborted
+        out["liveness_events"] = len(controller.liveness.events)
+        if self.fault_injector is not None:
+            out["faults_executed"] = len(self.fault_injector.events)
+        return out
+
+    def _collect_ap_metrics(self) -> Dict[str, object]:
+        out: Dict[str, object] = {}
+        for ap_id, ap in self.wgtt_aps.items():
+            for name, value in ap.stats.items():
+                out[metric_key("ap_stat", ap=ap_id, name=name)] = value
+            out[metric_key("ap_overflow_drops", ap=ap_id)] = sum(
+                queue.overflow_drops for queue in ap._cyclic.values()
+            )
+            device = ap.device.stats
+            out[metric_key("ap_mpdus_sent", ap=ap_id)] = device["mpdus_sent"]
+            out[metric_key("ap_ba_timeouts", ap=ap_id)] = device["ba_timeouts"]
+        return out
+
+    def _collect_ha_metrics(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "ha_checkpoints_shipped": self.ha.checkpoints_shipped,
+            "ha_checkpoint_bytes": self.ha.checkpoint_bytes,
+            "ha_lost_downlink": self.ha.lost_downlink,
+        }
+        if self.standby is not None:
+            out["ha_promotions"] = self.standby.stats["promotions"]
+        return out
 
     def _nearest_ap(self, client: ClientNode) -> str:
         position = client.track.position_at(self.sim.now)

@@ -14,12 +14,31 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter
 from typing import Callable, List, Optional, Tuple
+
+from repro.obs.context import ObsContext
 
 #: One millisecond expressed in engine ticks (microseconds).
 MS = 1_000
 #: One second expressed in engine ticks (microseconds).
 SECOND = 1_000_000
+
+
+def _profile_key(callback: Optional[Callable[[], None]]) -> str:
+    """Attribution key for the profiler: the callback's qualified name,
+    with :class:`Timer`-wrapped callbacks unwrapped to their inner
+    function so timers show up by owner rather than as one
+    ``Timer._fire`` bucket."""
+    if callback is None:
+        return "<fired>"
+    inner = getattr(callback, "__self__", None)
+    if isinstance(inner, Timer):
+        callback = inner._callback
+    try:
+        return callback.__qualname__
+    except AttributeError:
+        return type(callback).__name__
 
 
 class EventHandle:
@@ -78,13 +97,18 @@ class Simulator:
     start_time_us:
         Initial clock value; almost always zero, but tests occasionally
         start mid-stream to exercise wrap-around logic elsewhere.
+    obs:
+        Observability context (tracer + metrics + optional profiler).
+        Every simulator carries one — a default, everything-off context
+        is built when none is given, so subsystems can emit through
+        ``sim.obs.trace`` unconditionally behind its ``active`` guard.
     """
 
     #: Queues shorter than this are never compacted — rebuilding a tiny
     #: heap costs more than skipping its few dead entries.
     COMPACT_MIN_SIZE = 64
 
-    def __init__(self, start_time_us: int = 0):
+    def __init__(self, start_time_us: int = 0, obs: Optional[ObsContext] = None):
         self._now = int(start_time_us)
         self._queue: List[Tuple[int, int, EventHandle]] = []
         self._sequence = itertools.count()
@@ -94,6 +118,14 @@ class Simulator:
         self._cancelled_in_queue = 0
         #: Heap rebuilds performed (observability for the perf bench).
         self.compactions = 0
+        self.obs = obs if obs is not None else ObsContext()
+        self.obs.trace.bind_clock(self)
+        self._profiler = self.obs.profiler
+
+    def set_profiler(self, profiler) -> None:
+        """Install (or remove, with None) the hot-loop profiler."""
+        self.obs.profiler = profiler
+        self._profiler = profiler
 
     @property
     def now(self) -> int:
@@ -180,7 +212,16 @@ class Simulator:
                 continue
             self._now = time_us
             self.events_processed += 1
-            handle._fire()
+            profiler = self._profiler
+            if profiler is None:
+                handle._fire()
+            else:
+                # _fire nulls the callback before invoking it, so the
+                # attribution key must be computed first.
+                key = _profile_key(handle.callback)
+                started = perf_counter()
+                handle._fire()
+                profiler.add(key, perf_counter() - started)
             return True
         return False
 

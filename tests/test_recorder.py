@@ -65,16 +65,21 @@ class TestRateUsageLog:
         # MPDU weighting yields more samples than per-aggregate logging
         assert len(rates) > len(log.rates_mbps(weight_by_mpdus=False))
 
-    def test_hook_preserves_original_callback(self):
+    def test_coexists_with_other_event_subscribers(self):
+        # The old monkey-patched device hook supported chaining; the
+        # event-stream rewrite must allow multiple independent sinks.
         testbed = build_testbed(
             TestbedConfig(seed=3, scheme="wgtt", client_speeds_mph=[0.0],
                           client_start_x_m=9.5)
         )
         seen = []
-        device = testbed.wgtt_aps["ap0"].device
-        device.on_rate_used = lambda peer, mcs, n: seen.append(n)
-        RateUsageLog(testbed, client_id="client0")
+        testbed.sim.obs.trace.subscribe(
+            lambda event: seen.append(event.tags["count"]),
+            names=("ampdu-tx",),
+        )
+        log = RateUsageLog(testbed, client_id="client0")
         source, _ = testbed.add_downlink_udp_flow(0, rate_bps=10e6)
         source.start()
         testbed.run_seconds(1.0)
-        assert seen  # the pre-existing hook still fires
+        assert seen  # the independent sink fires
+        assert log.entries  # ...and so does the recorder
