@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.phy.esnr import effective_snr_db
+from repro.phy.per import effective_snr_db_memoized
 
 
 @dataclass
@@ -46,7 +46,7 @@ class CsiReport:
     def esnr_db(self) -> float:
         """Effective SNR of this measurement (computed once, cached)."""
         if self._esnr_cache is None:
-            self._esnr_cache = effective_snr_db(self.subcarrier_snr_db)
+            self._esnr_cache = effective_snr_db_memoized(self.subcarrier_snr_db)
         return self._esnr_cache
 
     def wire_size_bytes(self) -> int:

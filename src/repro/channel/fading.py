@@ -146,10 +146,7 @@ class TappedRayleighChannel:
         conjugate-multiply temporary — this is the per-frame path.
         """
         self.evolve_to(time_us, coherence_us)
-        gains = self._dft @ self._taps
-        re = gains.real
-        im = gains.imag
-        return re * re + im * im
+        return subcarrier_power_from_taps(self._dft, self._taps)
 
     def peek_power_at(self, time_us: int, coherence_us: float) -> np.ndarray:
         """Subcarrier power at ``time_us`` *without* perturbing the
@@ -167,14 +164,30 @@ class TappedRayleighChannel:
 
     def subcarrier_gains(self) -> np.ndarray:
         """Complex gain on each of the 56 subcarriers (unit mean power)."""
-        return self._dft @ self._taps
+        return np.add.reduce(self._dft * self._taps, axis=-1)
 
     def subcarrier_power(self) -> np.ndarray:
         """|h_k|^2 per subcarrier — multiplies the mean link SNR."""
-        gains = self.subcarrier_gains()
-        re = gains.real
-        im = gains.imag
-        return re * re + im * im
+        return subcarrier_power_from_taps(self._dft, self._taps)
+
+
+def subcarrier_power_from_taps(dft: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """|DFT · taps|² via broadcast-multiply + ``add.reduce``.
+
+    This formulation — *not* ``dft @ taps`` — is shared by the scalar
+    per-link path and the fused multi-link path in
+    :mod:`repro.channel.link_batch`: numpy's matmul routes 1-D and 2-D
+    operands to different BLAS kernels (gemv vs gemm) whose summation
+    orders differ in the last ulp, while an elementwise multiply
+    followed by ``add.reduce(axis=-1)`` produces identical bits whether
+    ``taps`` is one tap vector ``(T,)`` or a stack ``(L, 1, T)``.  That
+    shared ordering is what makes batched fading evolution bit-identical
+    to sequential :meth:`TappedRayleighChannel.evolve_to` calls.
+    """
+    gains = np.add.reduce(dft * taps, axis=-1)
+    re = gains.real
+    im = gains.imag
+    return re * re + im * im
 
 
 def _ht20_subcarrier_indices() -> np.ndarray:

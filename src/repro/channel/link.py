@@ -96,11 +96,22 @@ class Link:
         )
         self._cache_time: Optional[int] = None
         self._cache_power: Optional[np.ndarray] = None
+        # Per-(time, tx power) cache of the assembled SNR snapshot.  A
+        # completion asks for the same snapshot from several layers
+        # (medium, CSI path, PHY memos); returning one stable array
+        # object lets the identity memos in repro.phy.per hit, and is
+        # the hand-off point the fused batch path
+        # (repro.channel.link_batch) seeds.
+        self._snr_key: Optional[Tuple[int, float]] = None
+        self._snr_cache: Optional[np.ndarray] = None
         # scalar memos keyed on (time_us, tx_power_dbm): geometry terms
         # and the derived effective SNR, both re-asked several times per
         # event (medium decode check, interference terms, CSI path).
-        self._mean_snr_key: Optional[Tuple[int, float]] = None
-        self._mean_snr_db: float = 0.0
+        # The mean-SNR memo holds a handful of entries rather than one:
+        # the interference scan samples the *start* times of every
+        # overlapping transmission, and those keys recur across the
+        # completions in a busy window — a single slot thrashes.
+        self._mean_snr_cache: Dict[Tuple[int, float], float] = {}
         self._esnr_key: Optional[Tuple[int, float]] = None
         self._esnr_db: float = 0.0
         self._coh_speed: Optional[float] = None
@@ -114,8 +125,9 @@ class Link:
         fixed time (fig10 walks a probe client across a grid) must call
         :meth:`ChannelMap.invalidate_geometry` after each mutation.
         """
-        self._mean_snr_key = None
+        self._mean_snr_cache.clear()
         self._esnr_key = None
+        self._snr_key = None
 
     # ------------------------------------------------------------------
     # large-scale terms
@@ -156,8 +168,10 @@ class Link:
         """
         tx_dbm = self._tx_power_dbm(downlink, tx_id)
         key = (time_us, tx_dbm)
-        if self._mean_snr_key == key:
-            return self._mean_snr_db
+        cache = self._mean_snr_cache
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
         ap_pos = self.ap.position_at(time_us)
         client_pos = self.client.position_at(time_us)
         value = (
@@ -167,8 +181,9 @@ class Link:
             - self.pathloss.loss_db(ap_pos.distance_to(client_pos))
             - NOISE_FLOOR_DBM
         )
-        self._mean_snr_key = key
-        self._mean_snr_db = value
+        if len(cache) >= 32:
+            cache.clear()
+        cache[key] = value
         return value
 
     def mean_rx_power_dbm(
@@ -201,9 +216,42 @@ class Link:
     def subcarrier_snr_db(
         self, time_us: int, downlink: bool = True, tx_id: Optional[str] = None
     ) -> np.ndarray:
-        """Per-subcarrier SNR (dB): the CSI-equivalent channel snapshot."""
+        """Per-subcarrier SNR (dB): the CSI-equivalent channel snapshot.
+
+        Cached per ``(time_us, tx power)`` — repeated queries within one
+        frame completion return the *same* array object, which the
+        identity memos in :mod:`repro.phy.per` key on.  Treated as
+        immutable by every consumer.
+        """
+        tx_dbm = self._tx_power_dbm(downlink, tx_id)
+        key = (time_us, tx_dbm)
+        cached = self._snr_cache
+        if cached is not None and self._snr_key == key:
+            return cached
         mean_db = self.mean_snr_db(time_us, downlink, tx_id)
-        return mean_db + linear_to_db(self._subcarrier_power(time_us))
+        snapshot = mean_db + linear_to_db(self._subcarrier_power(time_us))
+        self._snr_key = key
+        self._snr_cache = snapshot
+        return snapshot
+
+    def _seed_snapshot(
+        self,
+        time_us: int,
+        tx_dbm: float,
+        power: np.ndarray,
+        snapshot: np.ndarray,
+    ) -> None:
+        """Install a batch-computed snapshot into the per-link caches.
+
+        Called by :mod:`repro.channel.link_batch` after a fused
+        multi-link evolution; the arrays must be exactly what the
+        scalar path would have produced (the fused path computes them
+        with bit-identical kernels).
+        """
+        self._cache_time = time_us
+        self._cache_power = power
+        self._snr_key = (time_us, tx_dbm)
+        self._snr_cache = snapshot
 
     def esnr_db(
         self, time_us: int, downlink: bool = True, tx_id: Optional[str] = None

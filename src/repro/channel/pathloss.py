@@ -39,15 +39,25 @@ class LogDistancePathLoss:
     frequency_hz: float = CHANNEL_11_HZ
     excess_loss_db: float = 30.0
 
+    def __post_init__(self) -> None:
+        # ``loss_db`` sits on the per-link geometry hot path; the
+        # reference FSPL and the 10·n slope never change after
+        # construction.  (object.__setattr__ because frozen=True.)
+        # The summation order below mirrors the original expression
+        # term for term, so the hoisting cannot move a single bit.
+        object.__setattr__(
+            self,
+            "_reference_db",
+            free_space_path_loss_db(self.reference_distance_m, self.frequency_hz),
+        )
+        object.__setattr__(self, "_slope_db", 10.0 * self.exponent)
+
     def loss_db(self, distance_m: float) -> float:
         """Total large-scale loss in dB at ``distance_m``."""
         distance_m = max(distance_m, self.reference_distance_m)
-        reference = free_space_path_loss_db(
-            self.reference_distance_m, self.frequency_hz
-        )
         return (
-            reference
-            + 10.0 * self.exponent * math.log10(distance_m / self.reference_distance_m)
+            self._reference_db
+            + self._slope_db * math.log10(distance_m / self.reference_distance_m)
             + self.excess_loss_db
         )
 

@@ -716,6 +716,11 @@ class WgttAccessPoint:
             subcarrier_snr_db=snr_db,
             rssi_dbm=rssi_dbm,
         )
+        # Resolve the effective SNR now, while the batched medium's
+        # PHY prewarm for this completion is still memo-resident; the
+        # controller reads it after a backhaul delay, long after the
+        # bounded memo may have recycled this snapshot's entry.
+        report.esnr_db
         self.stats["csi_reports"] += 1
         self._forward_to_controller(
             "csi", report, report.wire_size_bytes()

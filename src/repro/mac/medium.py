@@ -21,7 +21,9 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.channel.link import ChannelMap, NOISE_FLOOR_DBM
+from repro.channel.link_batch import warm_snapshots
 from repro.mac.frames import Frame, SIFS_US
+from repro.phy.batch import prewarm_receivers
 from repro.sim.engine import Simulator
 
 #: Energy level above which a station defers (carrier sense).
@@ -81,13 +83,22 @@ class MacEntity:
 class WirelessMedium:
     """Arbiter for one Wi-Fi channel."""
 
-    def __init__(self, sim: Simulator, channel_map: ChannelMap):
+    def __init__(
+        self,
+        sim: Simulator,
+        channel_map: ChannelMap,
+        batch_phy: bool = True,
+    ):
         self._sim = sim
         self._channel = channel_map
         self._devices: Dict[str, MacEntity] = {}
         self._transmissions: List[Transmission] = []
         self.frames_sent = 0
         self.airtime_us = 0
+        #: Coalesce each frame completion's receiver set into one fused
+        #: channel-evolution + PHY-kernel batch (bit-identical to the
+        #: per-receiver scalar path; ``False`` keeps the scalar loop).
+        self.batch_phy = batch_phy
 
     # ------------------------------------------------------------------
     # registration
@@ -246,6 +257,98 @@ class WirelessMedium:
             interferers.append(
                 (other.sender, other.start_us, overlap / duration)
             )
+        if not self.batch_phy:
+            self._deliver_scalar(tx, noise_mw, interferers, active_senders)
+            return
+
+        # ---- plan pass: apply the cheap per-receiver filters first, so
+        # the receivers that need a full SINR snapshot are known before
+        # any channel math runs.  They form this completion's
+        # contention-domain batch: one fused multi-link fading step and
+        # one stacked PHY prewarm instead of per-receiver scalar calls.
+        # Every per-link computation is independent (private RNG
+        # streams, per-link caches) and ``on_air_frame`` dispatch keeps
+        # the original device order below, so the restructuring is
+        # bit-identical to the scalar loop.
+        receivers: List[tuple] = []  # (node_id, device, link_or_None)
+        for node_id, device in self._devices.items():
+            if node_id == tx.sender:
+                continue
+            if getattr(device, "channel", 11) != tx.channel:
+                continue  # tuned elsewhere: hears nothing
+            if not device.cares_about(tx.frame):
+                continue
+            if node_id in active_senders:
+                # Half-duplex: it was transmitting itself.
+                receivers.append((node_id, device, None))
+                continue
+            link = self._channel.link(tx.sender, node_id)
+            if link.mean_rx_power_dbm(tx_start, tx_id=tx.sender) < NOISE_FLOOR_DBM - 10:
+                # Far below the noise floor: not even energy-detectable.
+                receivers.append((node_id, device, None))
+                continue
+            receivers.append((node_id, device, link))
+
+        live = [
+            (i, entry[2])
+            for i, entry in enumerate(receivers)
+            if entry[2] is not None
+        ]
+        rows: List[Optional[np.ndarray]] = [None] * len(receivers)
+        snaps = warm_snapshots(
+            tx_start, [(link, tx.sender) for _i, link in live]
+        )
+        for (i, _link), snr_db in zip(live, snaps):
+            node_id = receivers[i][0]
+            interference_mw = 0.0
+            for sender, start_us, weight in interferers:
+                if sender == node_id:
+                    continue
+                power_dbm = self._rx_power_dbm(sender, node_id, start_us)
+                interference_mw += weight * 10.0 ** (power_dbm / 10.0)
+            if interference_mw > 0.0:
+                penalty_db = 10.0 * math.log10(1.0 + interference_mw / noise_mw)
+                snr_db = snr_db - penalty_db
+            rows[i] = snr_db
+        if len(live) >= 2:
+            self._prewarm_phy(live, rows)
+        for i, (node_id, device, link) in enumerate(receivers):
+            if link is None:
+                device.on_air_frame(tx.frame, None, False)
+            else:
+                device.on_air_frame(tx.frame, rows[i], True)
+
+    def _prewarm_phy(
+        self,
+        live: List[tuple],
+        rows: List[Optional[np.ndarray]],
+    ) -> None:
+        """Seed the preamble memo for every live receiver at once.
+
+        The rows handed over are the exact array objects the dispatch
+        loop passes to ``on_air_frame``, so each receiver's preamble
+        check collapses to a memo hit on a value bit-identical to the
+        scalar computation.
+
+        Only the preamble term is prewarmed.  It is the one PHY
+        quantity *every* receiver in the contention domain evaluates
+        unconditionally, so one stacked kernel call amortizes across
+        the whole domain.  Data / CSI follow-ups are gated on a
+        per-device preamble draw — seeding their ESNR / coded-BER /
+        RSSI eagerly costs about as much per row as the lazy memoized
+        scalar path and is wasted whenever the draw fails, which
+        measured as a net end-to-end loss (see docs/performance.md).
+        """
+        prewarm_receivers([rows[i] for i, _link in live])
+
+    def _deliver_scalar(
+        self,
+        tx: Transmission,
+        noise_mw: float,
+        interferers: List[tuple],
+        active_senders: set,
+    ) -> None:
+        """The original per-receiver loop (``batch_phy=False``)."""
         for node_id, device in self._devices.items():
             if node_id == tx.sender:
                 continue

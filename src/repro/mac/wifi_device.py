@@ -24,7 +24,6 @@ in the model.
 
 from __future__ import annotations
 
-import math
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Set
 
@@ -50,6 +49,7 @@ from repro.phy.mcs import BASIC_RATE
 from repro.phy.per import (
     mpdu_payload_success_probability,
     preamble_success_probability,
+    wideband_rssi_offset_db,
 )
 from repro.channel.link import NOISE_FLOOR_DBM
 from repro.sim.engine import Simulator, Timer
@@ -504,12 +504,9 @@ class WifiDevice(MacEntity):
             self._receive_ack(frame, snr_db)
 
     def _rssi_from_snr(self, snr_db: np.ndarray) -> float:
-        # add.reduce/n == np.mean without the dispatch layer; math.log10
-        # == np.log10 for scalars.  Bit-identical, measurably cheaper on
-        # the per-CSI path.
-        powers = 10.0 ** (np.asarray(snr_db) / 10.0)
-        linear = float(np.add.reduce(powers)) / powers.shape[0]
-        return NOISE_FLOOR_DBM + 10.0 * math.log10(max(linear, 1e-12))
+        # Served through the bounded identity memo so the batched
+        # medium's CSI prewarm turns this into a dictionary hit.
+        return NOISE_FLOOR_DBM + wideband_rssi_offset_db(snr_db)
 
     def _maybe_csi(self, frame: Frame, snr_db: np.ndarray) -> None:
         """APs measure CSI on every decodable client transmission."""
@@ -530,10 +527,25 @@ class WifiDevice(MacEntity):
             return
         if self._draw.random() >= preamble_success_probability(snr_db):
             return
+        # One RNG call for the whole aggregate: ``random(n)`` yields the
+        # same value stream as n successive ``random()`` calls, and the
+        # success probabilities involve no randomness, so drawing up
+        # front is bit-identical to the old per-MPDU interleaving.
+        mpdus = frame.mpdus
+        draws = self._draw.random(len(mpdus))
         decoded: List = []
-        for mpdu in frame.mpdus:
-            p = mpdu_payload_success_probability(snr_db, frame.mcs, mpdu.size_bytes)
-            if self._draw.random() < p:
+        # The success probability depends only on the MPDU length, and
+        # aggregates are overwhelmingly uniform-size — evaluate once
+        # per distinct length instead of once per subframe.
+        p_by_size: Dict[int, float] = {}
+        for i, mpdu in enumerate(mpdus):
+            p = p_by_size.get(mpdu.size_bytes)
+            if p is None:
+                p = mpdu_payload_success_probability(
+                    snr_db, frame.mcs, mpdu.size_bytes
+                )
+                p_by_size[mpdu.size_bytes] = p
+            if draws[i] < p:
                 decoded.append(mpdu)
         reorder = self.reorder_buffer(frame.ta)
         for packet in reorder.advance_to(frame.window_start):

@@ -35,7 +35,7 @@ from repro.phy.ber import (
     db_to_linear,
     linear_to_db,
 )
-from repro.phy.lut import _SNR_GRID_DB, interp as _lut_interp, lut_for, mean_ber_lut
+from repro.phy.lut import lut_for, mean_ber_lut
 
 #: Reference modulation for the scalar ESNR summary metric.
 DEFAULT_MODULATION = "64qam"
@@ -46,12 +46,11 @@ ESNR_CAP_DB = 45.0
 def effective_snr_linear(
     subcarrier_snr_db: np.ndarray,
     modulation: str = DEFAULT_MODULATION,
-    _interp=_lut_interp,
     _reduce=np.add.reduce,
 ) -> float:
     """Effective SNR as a linear power ratio (LUT fast path)."""
     lut = lut_for(modulation)
-    ber = _interp(subcarrier_snr_db, _SNR_GRID_DB, lut.ber)
+    ber = lut.ber_of_db_batch(subcarrier_snr_db)
     mean = float(_reduce(ber)) / ber.shape[0]
     return 10.0 ** (lut.snr_db_for_ber(mean) / 10.0)
 
@@ -59,17 +58,18 @@ def effective_snr_linear(
 def effective_snr_db(
     subcarrier_snr_db: np.ndarray,
     modulation: str = DEFAULT_MODULATION,
-    _interp=_lut_interp,
     _reduce=np.add.reduce,
 ) -> float:
     """Effective SNR in dB, capped at :data:`ESNR_CAP_DB` (LUT fast path).
 
-    The ``_interp`` / ``_reduce`` default-argument bindings pin the
-    numpy entry points at definition time — this is the single most
-    frequently called function in the simulator.
+    Both non-linear maps go through the shared uniform-grid gather
+    kernel (:class:`repro.phy.lut.ModulationLut`), the same kernel the
+    batched evaluator (:mod:`repro.phy.batch`) runs on whole link
+    stacks — one row of a batch reproduces this result bitwise.  This
+    is the single most frequently called function in the simulator.
     """
     lut = lut_for(modulation)
-    ber = _interp(subcarrier_snr_db, _SNR_GRID_DB, lut.ber)
+    ber = lut.ber_of_db_batch(subcarrier_snr_db)
     mean = float(_reduce(ber)) / ber.shape[0]
     esnr_db = lut.snr_db_for_ber(mean)
     return esnr_db if esnr_db < ESNR_CAP_DB else ESNR_CAP_DB

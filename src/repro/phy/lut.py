@@ -19,15 +19,31 @@ This module precomputes, once per process and per modulation:
 * a dense log10(BER) grid carrying the *exact* closed-form inverse
   (``snr_for_ber_*``) in dB, including its clipping semantics.
 
-Forward lookups are one ``np.interp`` call; the inverse is a
-uniform-grid scalar interpolation in pure Python.  The linear-BER
-interpolation error is quadratic in the grid step and maximal where
-the curve is steepest (near the BER floor, |d ln BER / d dB| ~ 7);
-at the 0.05 dB step that bounds the effective-SNR error near 2e-3 dB,
-more than an order of magnitude inside the 0.05 dB equivalence bound
-enforced by ``tests/test_perf_equivalence.py`` (see
-``docs/performance.md`` for the full error analysis).  The small table
-(~2.4k entries per modulation) also keeps the binary search cache-hot.
+Both grids are *uniform*, so a lookup never needs ``np.interp``'s
+per-element binary search: the bucket index is one multiply away
+(``pos = (x - grid_min) * inv_step``), and the interpolation is a
+gather (``table.take(idx)``) plus one fused multiply-add against a
+precomputed slope table.  The scalar entry points and the batched
+``(n_links, n_subcarriers)`` entry points in :mod:`repro.phy.batch`
+share this exact formulation — same subtraction, same truncation, same
+``lo + slope[i] * frac`` — so a batched lookup is bit-identical to the
+scalar lookup it replaces, which is what lets the batched medium path
+be held to the scalar path as an exact in-tree oracle.
+
+The linear-BER interpolation error is quadratic in the grid step and
+maximal where the curve is steepest (near the BER floor,
+|d ln BER / d dB| ~ 7); at the 0.05 dB step that bounds the
+effective-SNR error near 2e-3 dB, more than an order of magnitude
+inside the 0.05 dB equivalence bound enforced by
+``tests/test_perf_equivalence.py`` (see ``docs/performance.md`` for
+the full error analysis).  The small tables (~2.4k entries per
+modulation) stay cache-hot.
+
+A note on ``log10``: numpy's vectorized ``np.log10`` and libm's
+``math.log10`` can disagree in the last ulp.  Every log taken on a
+value that a batched kernel may also compute goes through ``np.log10``
+(scalar numpy calls produce the same bits as the vectorized call), so
+scalar and batched inversions agree exactly.
 """
 
 from __future__ import annotations
@@ -95,7 +111,14 @@ class ModulationLut:
     """Forward (SNR dB -> BER) and inverse (mean BER -> SNR dB) tables
     for one modulation, both sampled from the closed-form curves."""
 
-    __slots__ = ("modulation", "ber", "inv_snr_db", "max_ber")
+    __slots__ = (
+        "modulation",
+        "ber",
+        "ber_slope",
+        "inv_snr_db",
+        "inv_slope",
+        "max_ber",
+    )
 
     def __init__(self, modulation: str):
         self.modulation = modulation
@@ -105,10 +128,19 @@ class ModulationLut:
         snr_linear = np.power(10.0, _SNR_GRID_DB / 10.0)
         with np.errstate(under="ignore"):
             ber = np.asarray(forward(snr_linear), dtype=float)
-        # NB: tables stay writeable — numpy's C fast paths (np.interp)
-        # copy read-only buffers on every call, which would cost more
-        # than the interpolation itself.  Treat them as frozen.
+        # NB: tables stay writeable — numpy's C fast paths copy
+        # read-only buffers on every call, which would cost more than
+        # the interpolation itself.  Treat them as frozen.
         self.ber = np.maximum(ber, SAMPLE_BER_FLOOR)
+        # The batched gather relies on the top two forward entries being
+        # equal (both at the sample floor): a clipped above-grid lookup
+        # lands on the last bucket with frac == 1 and a zero slope, so
+        # it returns the final entry exactly without a masking pass.
+        assert self.ber[-2] == self.ber[-1] == SAMPLE_BER_FLOOR
+        #: Per-bucket slopes, precomputed so a lookup is a gather plus
+        #: one multiply-add.  ``slope[i] == table[i+1] - table[i]``
+        #: bitwise — the same subtraction the runtime lerp used to do.
+        self.ber_slope = self.ber[1:] - self.ber[:-1]
         #: The curve's zero-SNR plateau — the largest mean BER any input
         #: can produce; inversion clamps here, mirroring the closed form
         #: (whose input can never exceed it either).
@@ -117,27 +149,55 @@ class ModulationLut:
         with np.errstate(under="ignore", divide="ignore"):
             snr_for = inverse(np.power(10.0, _LOG_BER_GRID))
         self.inv_snr_db = np.asarray(linear_to_db(snr_for), dtype=float)
+        self.inv_slope = self.inv_snr_db[1:] - self.inv_snr_db[:-1]
 
     # ------------------------------------------------------------------
     # forward: SNR -> BER
     # ------------------------------------------------------------------
 
     def ber_of_db(self, snr_db) -> np.ndarray:
-        """Uncoded linear BER for an array of SNRs in dB."""
-        return np.interp(snr_db, _SNR_GRID_DB, self.ber)
+        """Uncoded linear BER for an array of SNRs in dB (any shape)."""
+        return self.ber_of_db_batch(np.asarray(snr_db, dtype=float))
 
     def ber_of_db_scalar(self, snr_db: float) -> float:
-        """Uncoded BER at one SNR point (dB) — uniform-grid fast path."""
+        """Uncoded BER at one SNR point (dB) — uniform-grid fast path.
+
+        Branch-for-branch the scalar twin of :meth:`ber_of_db_batch`:
+        same ``pos`` arithmetic, same truncation, same
+        ``lo + slope[i] * frac`` multiply-add, so the two agree bitwise.
+        """
         pos = (snr_db - SNR_GRID_MIN_DB) * _INV_SNR_STEP
         if pos <= 0.0:
-            return self.max_ber
+            return self.max_ber  # == float(self.ber[0])
         if pos >= _N_SNR - 1:
-            return SAMPLE_BER_FLOOR
+            return float(self.ber[-1])  # == SAMPLE_BER_FLOOR
+        if pos != pos:  # NaN input propagates (int(nan) would raise)
+            return math.nan
         i = int(pos)
         frac = pos - i
-        tbl = self.ber
-        lo = tbl[i]
-        return float(lo + (tbl[i + 1] - lo) * frac)
+        return float(self.ber[i] + self.ber_slope[i] * frac)
+
+    def ber_of_db_batch(self, snr_db: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`ber_of_db_scalar` over any array shape.
+
+        Bit-identical, element for element, to the scalar lookup —
+        including the endpoint clamps and NaN propagation.  (The top
+        clamp needs no masking pass: the final two table entries are
+        equal by construction, so the frac=1 lerp a clipped above-grid
+        input produces *is* the final entry; see ``__init__``.)
+        """
+        snr_db = np.asarray(snr_db, dtype=float)
+        pos = (snr_db - SNR_GRID_MIN_DB) * _INV_SNR_STEP
+        np.maximum(pos, 0.0, out=pos)  # NaN passes through both clamps
+        np.minimum(pos, _N_SNR - 1.0, out=pos)
+        with np.errstate(invalid="ignore"):
+            idx = pos.astype(np.int64)  # NaN -> INT64_MIN, clamped next
+        np.minimum(idx, _N_SNR - 2, out=idx)
+        np.maximum(idx, 0, out=idx)
+        frac = pos - idx
+        out = self.ber.take(idx)
+        out += self.ber_slope.take(idx) * frac
+        return out
 
     # ------------------------------------------------------------------
     # inverse: mean BER -> effective SNR
@@ -148,24 +208,50 @@ class ModulationLut:
 
         Matches the clipping closed form: the input is clamped into
         [:data:`~repro.phy.ber.BER_FLOOR`, curve maximum] before the
-        table lookup.
+        table lookup.  The log goes through ``np.log10`` so the result
+        is bit-identical to :meth:`snr_db_for_ber_batch` (libm's
+        ``math.log10`` can differ in the last ulp).
         """
+        if ber != ber:  # NaN in, NaN out
+            return math.nan
         if ber <= BER_FLOOR:
-            log_ber = LOG_BER_FLOOR
+            pos = 0.0
         else:
             if ber > self.max_ber:
                 ber = self.max_ber
-            log_ber = math.log10(ber)
-        pos = (log_ber - LOG_BER_FLOOR) * _INV_LOG_BER_STEP
+            pos = (float(np.log10(ber)) - LOG_BER_FLOOR) * _INV_LOG_BER_STEP
         if pos <= 0.0:
             return float(self.inv_snr_db[0])
         if pos >= _N_LOG_BER - 1:
             return float(self.inv_snr_db[-1])
         i = int(pos)
         frac = pos - i
-        tbl = self.inv_snr_db
-        lo = tbl[i]
-        return float(lo + (tbl[i + 1] - lo) * frac)
+        return float(self.inv_snr_db[i] + self.inv_slope[i] * frac)
+
+    def snr_db_for_ber_batch(self, ber: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`snr_db_for_ber` over any array shape —
+        bit-identical element for element (clamps, floor, NaN).
+
+        The input clamp into [floor, curve max] pins ``pos`` inside
+        ``[0, N-1)`` for every non-NaN input (the curve maximum sits
+        strictly below the grid ceiling), so no position clamp is
+        needed; the index clamps exist only to absorb the garbage an
+        NaN cast produces (its ``frac`` stays NaN and propagates).
+        """
+        ber = np.asarray(ber, dtype=float)
+        with np.errstate(invalid="ignore"):
+            clipped = np.maximum(ber, BER_FLOOR)
+            np.minimum(clipped, self.max_ber, out=clipped)
+            log_ber = np.log10(clipped, out=clipped)
+            pos = np.subtract(log_ber, LOG_BER_FLOOR, out=log_ber)
+            np.multiply(pos, _INV_LOG_BER_STEP, out=pos)
+            idx = pos.astype(np.int64)
+        np.minimum(idx, _N_LOG_BER - 2, out=idx)
+        np.maximum(idx, 0, out=idx)
+        frac = pos - idx
+        out = self.inv_snr_db.take(idx)
+        out += self.inv_slope.take(idx) * frac
+        return out
 
 
 _LUTS: Dict[str, ModulationLut] = {}
@@ -188,10 +274,12 @@ def effective_snr_db_lut(subcarrier_snr_db, modulation: str) -> float:
     """LUT-based Halperin effective SNR in dB (uncapped).
 
     Same three steps as the closed form — per-subcarrier BER, mean,
-    inverse — with both non-linear maps served from the tables.
+    inverse — with both non-linear maps served from the tables via the
+    shared uniform-grid gather, so one row of a batched evaluation
+    (:mod:`repro.phy.batch`) reproduces this scalar result bitwise.
     """
     lut = lut_for(modulation)
-    ber = _interp(subcarrier_snr_db, _SNR_GRID_DB, lut.ber)
+    ber = lut.ber_of_db_batch(subcarrier_snr_db)
     mean = float(np.add.reduce(ber)) / ber.shape[0]
     return lut.snr_db_for_ber(mean)
 
@@ -209,7 +297,7 @@ def mean_ber_lut(
     snr_db = np.asarray(subcarrier_snr_db, dtype=float)
     if coding_gain_db:
         snr_db = snr_db + coding_gain_db
-    ber = _interp(snr_db, _SNR_GRID_DB, lut.ber)
+    ber = lut.ber_of_db_batch(snr_db)
     return float(np.add.reduce(ber)) / ber.shape[0]
 
 

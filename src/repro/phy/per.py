@@ -13,23 +13,31 @@ robust rate, to be received; below a small SNR floor nothing decodes.
 
 Hot path: all non-linear maps are served from the log-domain lookup
 tables in :mod:`repro.phy.lut`, and the per-aggregate quantities
-(coded BER, preamble success) carry one-slot *identity* memos: the MAC
-evaluates the same SNR snapshot once per subframe of an A-MPDU, so
-keying on the array object itself (a live reference is held, making
-``id`` reuse impossible) collapses those repeats to a single
-computation.  SNR arrays are treated as immutable throughout the
-simulator — derived quantities always allocate fresh arrays.
+(effective SNR, coded BER, preamble success) carry bounded *identity*
+memos: the MAC evaluates the same SNR snapshot once per subframe of an
+A-MPDU, and the batched medium path (:mod:`repro.phy.batch`) pre-seeds
+the same memos for every receiver of a completed transmission, so the
+per-frame entry points below collapse to dictionary hits.  Keys embed
+``id()`` of the snapshot array; a strong reference to the array is held
+in each entry, making ``id`` reuse impossible while the entry lives.
+The memos are LRU-bounded (:data:`PHY_MEMO_CAPACITY`) so hour-long
+soak runs cannot grow them without limit, and hit/miss/eviction
+counters are exported through :func:`phy_memo_stats` (the testbed
+registers them with the ``MetricsRegistry``).  SNR arrays are treated
+as immutable throughout the simulator — derived quantities always
+allocate fresh arrays.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from collections import OrderedDict
+from typing import Any, Dict, Tuple
 
 import numpy as np
 
-from repro.phy.lut import ber_at_snr_db_lut, interp as _interp, lut_for
-from repro.phy.lut import _SNR_GRID_DB as _GRID  # shared forward grid
+from repro.phy.esnr import DEFAULT_MODULATION, ESNR_CAP_DB
+from repro.phy.lut import ber_at_snr_db_lut, lut_for
 from repro.phy.mcs import CODING_GAIN_DB, Mcs
 
 #: Below this wideband SNR (dB) the preamble itself is undetectable.
@@ -37,29 +45,172 @@ PREAMBLE_SNR_FLOOR_DB = -1.0
 #: Preamble length in bits at the 6 Mbit/s base rate (for its own BER check).
 _PREAMBLE_BITS = 192
 
-#: One-slot identity memos (array-object keyed; see module docstring).
-_coded_ber_memo: Optional[Tuple[np.ndarray, Mcs, float]] = None
-_preamble_memo: Optional[Tuple[np.ndarray, float]] = None
-_esnr_db_memo: Optional[Tuple[np.ndarray, str, float]] = None
+#: Entry cap for each identity memo below.  A snapshot batch touches at
+#: most ~#receivers × #modulations entries, so 128 comfortably covers a
+#: full medium completion plus the controller's follow-up reads while
+#: keeping worst-case growth bounded for soak runs.
+PHY_MEMO_CAPACITY = 128
+
+
+class _IdentityLru:
+    """Bounded identity-keyed memo with hit/miss/eviction counters.
+
+    Keys embed ``id()`` of a live array; each entry holds a strong
+    reference to that array (and any other identity-keyed operand), so
+    a key collision with a *different* object is impossible — CPython
+    cannot recycle the id of an object the entry keeps alive.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_data")
+
+    def __init__(self, capacity: int = PHY_MEMO_CAPACITY):
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: "OrderedDict[Any, Tuple[Any, ...]]" = OrderedDict()
+
+    def get(self, key: Any) -> Any:
+        entry = self._data.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._data.move_to_end(key)
+        return entry
+
+    def put(self, key: Any, entry: Tuple[Any, ...]) -> None:
+        data = self._data
+        if key in data:
+            data[key] = entry
+            data.move_to_end(key)
+            return
+        if len(data) >= self.capacity:
+            data.popitem(last=False)
+            self.evictions += 1
+        data[key] = entry  # fresh keys insert at the recent end already
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "size": len(self._data),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+#: value: (snr_array, esnr_db) keyed by (id(array), modulation)
+_esnr_memo = _IdentityLru()
+#: value: (snr_array, mcs, coded_ber) keyed by (id(array), id(mcs))
+_coded_memo = _IdentityLru()
+#: value: (snr_array, p_preamble) keyed by id(array)
+_preamble_memo_lru = _IdentityLru()
+#: value: (snr_array, offset_db) keyed by id(array)
+_rssi_memo = _IdentityLru()
+
+
+def phy_memo_stats() -> Dict[str, Dict[str, int]]:
+    """Counters for the bounded PHY memos (for the obs collectors)."""
+    return {
+        "esnr": _esnr_memo.stats(),
+        "coded_ber": _coded_memo.stats(),
+        "preamble": _preamble_memo_lru.stats(),
+        "rssi": _rssi_memo.stats(),
+    }
+
+
+def reset_phy_memos() -> None:
+    """Drop all memo entries (counters survive; tests use this)."""
+    _esnr_memo.clear()
+    _coded_memo.clear()
+    _preamble_memo_lru.clear()
+    _rssi_memo.clear()
+
+
+# ----------------------------------------------------------------------
+# batch prewarm hooks (repro.phy.batch seeds these after a fused
+# multi-link evaluation so the per-frame scalar entry points hit)
+# ----------------------------------------------------------------------
+
+
+def seed_effective_snr_db(
+    subcarrier_snr_db: np.ndarray, modulation: str, esnr_db: float
+) -> None:
+    _esnr_memo.put(
+        (id(subcarrier_snr_db), modulation), (subcarrier_snr_db, esnr_db)
+    )
+
+
+def seed_coded_ber(
+    subcarrier_snr_db: np.ndarray, mcs: Mcs, value: float
+) -> None:
+    _coded_memo.put(
+        (id(subcarrier_snr_db), id(mcs)), (subcarrier_snr_db, mcs, value)
+    )
+
+
+def seed_preamble_success(
+    subcarrier_snr_db: np.ndarray, value: float
+) -> None:
+    _preamble_memo_lru.put(id(subcarrier_snr_db), (subcarrier_snr_db, value))
+
+
+def seed_rssi_offset(subcarrier_snr_db: np.ndarray, value: float) -> None:
+    _rssi_memo.put(id(subcarrier_snr_db), (subcarrier_snr_db, value))
+
+
+def wideband_rssi_offset_db(subcarrier_snr_db: np.ndarray) -> float:
+    """Wideband fading+SNR offset over the noise floor, in dB.
+
+    ``NOISE_FLOOR_DBM + offset`` is the instantaneous RSSI a receiver
+    reports for this snapshot (see ``WifiDevice._rssi_from_snr``).
+    Factored here so the batched CSI fan-out can pre-seed it.
+    """
+    entry = _rssi_memo.get(id(subcarrier_snr_db))
+    if entry is not None:
+        return entry[1]
+    powers = 10.0 ** (np.asarray(subcarrier_snr_db) / 10.0)
+    linear = float(np.add.reduce(powers)) / powers.shape[0]
+    value = 10.0 * math.log10(max(linear, 1e-12))
+    if isinstance(subcarrier_snr_db, np.ndarray):
+        _rssi_memo.put(id(subcarrier_snr_db), (subcarrier_snr_db, value))
+    return value
 
 
 def _effective_snr_db_memo(subcarrier_snr_db: np.ndarray, modulation: str) -> float:
-    """Uncapped LUT effective SNR with a one-slot identity memo."""
-    global _esnr_db_memo
-    memo = _esnr_db_memo
-    if (
-        memo is not None
-        and memo[0] is subcarrier_snr_db
-        and memo[1] == modulation
-    ):
-        return memo[2]
+    """Uncapped LUT effective SNR with a bounded identity memo."""
+    key = (id(subcarrier_snr_db), modulation)
+    entry = _esnr_memo.get(key)
+    if entry is not None:
+        return entry[1]
     lut = lut_for(modulation)
-    ber = _interp(subcarrier_snr_db, _GRID, lut.ber)
+    ber = lut.ber_of_db_batch(subcarrier_snr_db)
     mean = float(np.add.reduce(ber)) / ber.shape[0]
     esnr_db = lut.snr_db_for_ber(mean)
     if isinstance(subcarrier_snr_db, np.ndarray):
-        _esnr_db_memo = (subcarrier_snr_db, modulation, esnr_db)
+        _esnr_memo.put(key, (subcarrier_snr_db, esnr_db))
     return esnr_db
+
+
+def effective_snr_db_memoized(
+    subcarrier_snr_db: np.ndarray, modulation: str = DEFAULT_MODULATION
+) -> float:
+    """Capped effective SNR served through the bounded identity memo.
+
+    Bit-identical to :func:`repro.phy.esnr.effective_snr_db` (same
+    kernels, same cap ternary); the CSI path uses this entry point so a
+    report whose snapshot was pre-seeded by the batched medium resolves
+    without recomputing the LUT collapse.
+    """
+    esnr_db = _effective_snr_db_memo(subcarrier_snr_db, modulation)
+    return esnr_db if esnr_db < ESNR_CAP_DB else ESNR_CAP_DB
 
 
 def coded_ber(subcarrier_snr_db: np.ndarray, mcs: Mcs) -> float:
@@ -71,24 +222,23 @@ def coded_ber(subcarrier_snr_db: np.ndarray, mcs: Mcs) -> float:
     convolutional code and interleaver operate across the whole band,
     so coding is credited after the collapse, not per subcarrier.
     """
-    global _coded_ber_memo
-    memo = _coded_ber_memo
-    if memo is not None and memo[0] is subcarrier_snr_db and memo[1] is mcs:
-        return memo[2]
+    key = (id(subcarrier_snr_db), id(mcs))
+    entry = _coded_memo.get(key)
+    if entry is not None:
+        return entry[2]
     gain_db = CODING_GAIN_DB[mcs.coding_rate]
     esnr_db = _effective_snr_db_memo(subcarrier_snr_db, mcs.modulation)
     value = ber_at_snr_db_lut(mcs.modulation, esnr_db + gain_db)
     if isinstance(subcarrier_snr_db, np.ndarray):
-        _coded_ber_memo = (subcarrier_snr_db, mcs, value)
+        _coded_memo.put(key, (subcarrier_snr_db, mcs, value))
     return value
 
 
 def preamble_success_probability(subcarrier_snr_db: np.ndarray) -> float:
     """Probability the PLCP preamble + header decode (BPSK 1/2)."""
-    global _preamble_memo
-    memo = _preamble_memo
-    if memo is not None and memo[0] is subcarrier_snr_db:
-        return memo[1]
+    entry = _preamble_memo_lru.get(id(subcarrier_snr_db))
+    if entry is not None:
+        return entry[1]
     arr = np.asarray(subcarrier_snr_db, dtype=float)
     linear = np.power(10.0, arr * 0.1)
     # add.reduce/n is what np.mean computes, minus the dispatch layer.
@@ -101,7 +251,9 @@ def preamble_success_probability(subcarrier_snr_db: np.ndarray) -> float:
         ber = ber_at_snr_db_lut("bpsk", esnr_db + CODING_GAIN_DB[1 / 2])
         value = (1.0 - ber) ** _PREAMBLE_BITS
     if isinstance(subcarrier_snr_db, np.ndarray):
-        _preamble_memo = (subcarrier_snr_db, value)
+        _preamble_memo_lru.put(
+            id(subcarrier_snr_db), (subcarrier_snr_db, value)
+        )
     return value
 
 

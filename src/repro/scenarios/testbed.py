@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.baselines.enhanced_80211r import (
     Baseline80211rAp,
     BaselineWlc,
@@ -106,6 +108,11 @@ class TestbedConfig:
     #: builds the default everything-off context — the configuration
     #: under which runs are bit-identical to the pre-obs tree.
     obs: Optional[ObsConfig] = None
+    #: Batched snapshot/PHY fast path on the shared medium and the
+    #: oracle probes.  Bit-identical to the scalar path (asserted by
+    #: ``tests/test_perf_equivalence.py``); ``False`` forces the
+    #: per-receiver scalar loop everywhere.
+    batch_phy: bool = True
 
     def ap_channel(self, index: int) -> int:
         if self.channel_plan is None:
@@ -225,7 +232,9 @@ class Testbed:
             coherence_factor=config.coherence_factor,
             rician_k_db=config.rician_k_db,
         )
-        self.medium = WirelessMedium(self.sim, self.channel)
+        self.medium = WirelessMedium(
+            self.sim, self.channel, batch_phy=config.batch_phy
+        )
         self.backhaul = EthernetBackhaul(self.sim)
         self.server_host = Host("server")
         self._server_ip_ids = IpIdAllocator()
@@ -380,6 +389,7 @@ class Testbed:
         registry = self.obs.metrics
         registry.register_collector(self._collect_backhaul_metrics)
         registry.register_collector(self._collect_medium_metrics)
+        registry.register_collector(self._collect_phy_memo_metrics)
         registry.register_collector(self._collect_client_metrics)
         if self.controller is not None:
             registry.register_collector(self._collect_controller_metrics)
@@ -407,6 +417,17 @@ class Testbed:
             "engine_events_processed": self.sim.events_processed,
             "engine_compactions": self.sim.compactions,
         }
+
+    def _collect_phy_memo_metrics(self) -> Dict[str, object]:
+        from repro.phy.per import phy_memo_stats
+
+        out: Dict[str, object] = {}
+        for memo, stats in phy_memo_stats().items():
+            for field_name, value in stats.items():
+                out[
+                    metric_key("phy_memo", memo=memo, stat=field_name)
+                ] = value
+        return out
 
     def _collect_client_metrics(self) -> Dict[str, object]:
         out: Dict[str, object] = {}
@@ -642,9 +663,24 @@ class Testbed:
     def best_ap_ground_truth(self, client_index: int, time_us: int) -> str:
         """The AP with the instantaneously best ESNR (oracle knowledge,
         used only by the accuracy metric — never by the protocols)."""
+        client_id = self.clients[client_index].client_id
+        if self.config.batch_phy:
+            from repro.channel.link_batch import probe_snapshots
+            from repro.phy.batch import effective_snr_db_batch
+
+            entries = [
+                (self.channel.link(ap_id, client_id), ap_id)
+                for ap_id in self.ap_ids
+            ]
+            snaps = probe_snapshots(time_us, entries)
+            esnrs = effective_snr_db_batch(np.stack(snaps))
+            best_ap, best_esnr = None, -1e9
+            for ap_id, esnr in zip(self.ap_ids, esnrs):
+                if esnr > best_esnr:
+                    best_ap, best_esnr = ap_id, float(esnr)
+            return best_ap
         from repro.phy.esnr import effective_snr_db
 
-        client_id = self.clients[client_index].client_id
         best_ap, best_esnr = None, -1e9
         for ap_id in self.ap_ids:
             link = self.channel.link(ap_id, client_id)
