@@ -392,6 +392,37 @@ class ChannelMap:
         """
         return list(self._links_by_port.get(client_id, ()))
 
+    def forget_port(self, node_id: str) -> None:
+        """Tear down one endpoint and every link touching it.
+
+        Client churn needs this: a retired vehicle's RadioPort and its
+        per-AP Links (fading streams, SNR memos) would otherwise pin
+        memory forever — the same unbounded-growth class as
+        ``IndexAllocator.forget_client``.  Callers must wait until the
+        medium holds no in-flight transmission history naming the port
+        (the testbed defers retirement past the interference-history
+        horizon) or ``link()`` lookups on stale history would fail.
+        """
+        if node_id not in self._ports:
+            return
+        del self._ports[node_id]
+        gone = self._links_by_port.pop(node_id, [])
+        for link in gone:
+            peer = (
+                link.ap.node_id
+                if link.client.node_id == node_id
+                else link.client.node_id
+            )
+            key = (
+                (node_id, peer) if node_id <= peer else (peer, node_id)
+            )
+            self._links.pop(key, None)
+            peer_links = self._links_by_port.get(peer)
+            if peer_links is not None:
+                peer_links[:] = [ln for ln in peer_links if ln is not link]
+                if not peer_links:
+                    del self._links_by_port[peer]
+
 
 def subcarrier_count() -> int:
     """Number of subcarriers in every CSI snapshot (56 for HT20)."""

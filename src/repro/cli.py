@@ -1,11 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the common workflows:
+Four commands cover the common workflows:
 
 * ``drive``       — one drive-by under either scheme, summarized.
                     ``--trace``/``--profile``/``--metrics`` switch on
                     the observability layer (``repro.obs``).
 * ``experiment``  — run a paper table/figure driver and print its rows.
+* ``soak``        — an SLO-guarded endurance run (``repro.soak``):
+                    heavy-tailed churn, continuous faults, optional
+                    admission control; nonzero exit on any violation.
 * ``list``        — enumerate the available experiment drivers.
 
 Experiment ids come from the registration decorator
@@ -111,6 +114,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for grid fan-out (0 = all cores); "
         "results are byte-identical to --jobs 1 for the same seeds",
+    )
+
+    soak = sub.add_parser(
+        "soak",
+        help="SLO-guarded endurance run: churn + faults + guard",
+    )
+    soak.add_argument("--seed", type=int, default=1)
+    soak.add_argument(
+        "--seconds", type=float, default=60.0,
+        help="sim-time duration of the soak",
+    )
+    soak.add_argument(
+        "--arrival-rate", type=float, default=1.0, metavar="PER_S",
+        help="Poisson rider arrival rate",
+    )
+    soak.add_argument(
+        "--max-concurrent", type=int, default=64,
+        help="rider population cap (excess arrivals are rejected)",
+    )
+    soak.add_argument(
+        "--fault-intensity", type=float, default=1.0,
+        help="continuous-chaos intensity multiplier (0 = no faults)",
+    )
+    soak.add_argument(
+        "--admission", action="store_true",
+        help="enable per-client fair pacing at the controller",
+    )
+    soak.add_argument(
+        "--no-backpressure", action="store_true",
+        help="disable the serving-AP watermark backpressure signal",
+    )
+    soak.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="stream guard samples/checkpoints/violations as JSONL",
+    )
+    soak.add_argument(
+        "--fail-fast", action="store_true",
+        help="raise on the first SLO violation instead of collecting",
     )
 
     sub.add_parser("list", help="list available experiment drivers")
@@ -230,6 +271,32 @@ def _json_default(value):
     return str(value)
 
 
+def cmd_soak(args) -> int:
+    from repro.soak.harness import SoakConfig, run_soak
+    from repro.soak.workload import WorkloadConfig
+
+    config = SoakConfig(
+        seed=args.seed,
+        duration_s=args.seconds,
+        fault_intensity=args.fault_intensity,
+        admission_enabled=args.admission,
+        backpressure_enabled=not args.no_backpressure,
+        workload=WorkloadConfig(
+            arrival_rate_per_s=args.arrival_rate,
+            max_concurrent=args.max_concurrent,
+        ),
+        telemetry_path=args.telemetry,
+        fail_fast=args.fail_fast,
+    )
+    result = run_soak(config)
+    print(result.summary())
+    if args.telemetry is not None:
+        print(f"  telemetry  : {args.telemetry}")
+    for violation in result.violations:
+        print(f"  VIOLATION  : {json.dumps(violation, default=str)}")
+    return 0 if result.ok else 1
+
+
 def cmd_list(_args) -> int:
     descriptions = experiment_registry.descriptions()
     width = max(len(k) for k in descriptions)
@@ -243,6 +310,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "drive": cmd_drive,
         "experiment": cmd_experiment,
+        "soak": cmd_soak,
         "list": cmd_list,
     }
     try:

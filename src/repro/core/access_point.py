@@ -115,6 +115,14 @@ class WgttAccessPoint:
         #: Clients whose cyclic-queue span currently exceeds the high
         #: watermark (backpressure signalled, release pending).
         self._backpressured: Set[str] = set()
+        #: Recently departed clients (bounded FIFO).  "client-departed"
+        #: rides the prioritized control path and can overtake "data"
+        #: messages already queued behind the per-port data FIFO; a
+        #: late fan-out arriving after teardown would silently recreate
+        #: the client's cyclic queue and leak it forever under churn.
+        self._departed: Set[str] = set()
+        self._departed_order: Deque[str] = deque()
+        self._departed_cap = 4096
 
         self.stats = {
             "stops_handled": 0,
@@ -140,6 +148,7 @@ class WgttAccessPoint:
             "serving_claims_sent": 0,
             "backpressure_signals": 0,
             "clients_departed": 0,
+            "data_after_departure": 0,
         }
         backhaul.register(ap_id, self._on_backhaul)
         self._heartbeat_timer = Timer(self._sim, self._heartbeat_tick)
@@ -205,6 +214,8 @@ class WgttAccessPoint:
         self._holding = False
         self._hold_buffer.clear()
         self._backpressured.clear()
+        self._departed.clear()
+        self._departed_order.clear()
         self.device.power_off()
         for queue in self._cyclic.values():
             queue.clear()
@@ -384,6 +395,11 @@ class WgttAccessPoint:
     def _client_departed(self, client_id: str) -> None:
         """client-departed: free every per-client resource on this AP."""
         self.stats["clients_departed"] += 1
+        if client_id not in self._departed:
+            self._departed.add(client_id)
+            self._departed_order.append(client_id)
+            if len(self._departed_order) > self._departed_cap:
+                self._departed.discard(self._departed_order.popleft())
         self._serving.discard(client_id)
         self._backpressured.discard(client_id)
         self._serving_view.pop(client_id, None)
@@ -434,6 +450,14 @@ class WgttAccessPoint:
         elif kind == "ba-fwd":
             self._handle_forwarded_ba(payload)
         elif kind == "sta-sync":
+            if payload.client in self._departed:
+                # Re-admission (a returning rider gets a fresh session):
+                # lift the departed-drop guard so fan-outs flow again.
+                self._departed.discard(payload.client)
+                try:
+                    self._departed_order.remove(payload.client)
+                except ValueError:
+                    pass
             self.directory.admit(payload)
         elif kind == "serving-update":
             client_id, ap_id = payload
@@ -452,6 +476,13 @@ class WgttAccessPoint:
     # ------------------------------------------------------------------
 
     def _downlink_data(self, client_id: str, index: int, packet: Packet) -> None:
+        if client_id in self._departed:
+            # A fan-out that was already in flight behind the data FIFO
+            # when the (prioritized) client-departed control message
+            # overtook it.  Inserting would recreate the torn-down
+            # cyclic queue — drop it instead, explicitly.
+            self.stats["data_after_departure"] += 1
+            return
         queue = self.cyclic_queue(client_id)
         queue.insert(index, packet)
         tracer = self._sim.obs.trace

@@ -156,6 +156,33 @@ class WgttConfig:
     backpressure_high_ratio: float = 0.75
     backpressure_low_ratio: float = 0.50
 
+    # -- admission control (soak extension) ---------------------------
+
+    #: When True the controller runs per-client fair pacing on the
+    #: downlink ingress: each client gets a token bucket, over-rate
+    #: packets park in a bounded per-client pacing queue, and a
+    #: deterministic round-robin release timer drains the queues as
+    #: tokens refill.  This upgrades the PR 3 watermark backpressure
+    #: (which *drops* while paced) into shaping: while a client is
+    #: backpressured its pacing queue holds packets instead of the
+    #: controller discarding them.  Default False — the admission path
+    #: is never consulted and runs stay bit-identical to the
+    #: pre-admission simulator.
+    admission_enabled: bool = False
+
+    #: Per-client sustained admission rate, packets per second.
+    admission_rate_pps: int = 2000
+
+    #: Token-bucket burst depth, packets.  A bucket starts full.
+    admission_burst: int = 64
+
+    #: Bounded per-client pacing queue (packets).  Drop-tail beyond
+    #: this; drops are explicit (``admission_dropped``), never silent.
+    admission_queue_slots: int = 256
+
+    #: Round-robin release cadence while any pacing queue is backlogged.
+    admission_release_interval_us: int = 1 * MS
+
     # -- ablation switches (all paper-default True/median) ------------
 
     #: Forward overheard block ACKs to the serving AP (§3.2.1).

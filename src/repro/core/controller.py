@@ -23,6 +23,7 @@ from repro.core.assoc_sync import (
     AssociationDirectory,
     StaInfo,
 )
+from repro.core.admission import AdmissionPacer
 from repro.core.config import WgttConfig
 from repro.core.cyclic_queue import IndexAllocator
 from repro.core.dedup import PacketDeduplicator
@@ -187,7 +188,24 @@ class WgttController:
             "clients_departed": 0,
             "ctrl_heartbeats_sent": 0,
             "serving_claims": 0,
+            "admission_passthrough": 0,
+            "admission_enqueued": 0,
+            "admission_released": 0,
+            "admission_dropped": 0,
         }
+        #: Per-client fair pacing (soak extension).  None unless
+        #: ``admission_enabled`` — the default ingress path never
+        #: consults it, keeping runs bit-identical to the pre-admission
+        #: simulator.
+        self._pacer: Optional[AdmissionPacer] = None
+        if self._config.admission_enabled:
+            self._pacer = AdmissionPacer(
+                sim,
+                self._config,
+                self._release_downlink,
+                self._pacing_blocked,
+                self.stats,
+            )
         backhaul.register(controller_id, self._on_backhaul)
 
     # ------------------------------------------------------------------
@@ -250,6 +268,8 @@ class WgttController:
         self._index_alloc.forget_client(client_id)
         self._last_heard.pop(client_id, None)
         self._pending_claims.pop(client_id, None)
+        if self._pacer is not None:
+            self._pacer.forget_client(client_id)
         for ap in sorted(self._ap_ids):
             self._backhaul.send_control(
                 self.controller_id, ap, "client-departed", client_id
@@ -314,6 +334,16 @@ class WgttController:
         if state is None:
             self.stats["downlink_unassociated"] += 1
             return
+        if self._pacer is not None:
+            # Admission control on: token-bucket shaping replaces the
+            # paced-drop below.  Over-rate and backpressured traffic
+            # parks in the pacing queue; the round-robin release timer
+            # re-enters via _release_downlink when it conforms.
+            released = self._pacer.admit(client_id, packet)
+            if released is None:
+                return
+            self._fanout(client_id, state, released)
+            return
         if state.paced:
             # The serving AP's cyclic queue is near its wrap point:
             # admitting more fan-out would race the 12-bit index space
@@ -331,6 +361,26 @@ class WgttController:
                     client=client_id,
                 )
             return
+        self._fanout(client_id, state, packet)
+
+    def _release_downlink(self, client_id: str, packet: Packet) -> None:
+        """Pacer release callback: fan out a formerly parked packet."""
+        if not self.alive:
+            return
+        state = self._clients.get(client_id)
+        if state is None:
+            self.stats["downlink_unassociated"] += 1
+            return
+        self._fanout(client_id, state, packet)
+
+    def _pacing_blocked(self, client_id: str) -> bool:
+        """Pacer hold predicate: serving-AP backpressure engaged."""
+        state = self._clients.get(client_id)
+        return state is None or state.paced
+
+    def _fanout(
+        self, client_id: str, state: ClientState, packet: Packet
+    ) -> None:
         self.stats["downlink_accepted"] += 1
         index = self._index_alloc.allocate(client_id)
         if self._config.fanout_enabled:
@@ -706,6 +756,8 @@ class WgttController:
             timer.stop()
         self._retry_timers.clear()
         self._ctrl_heartbeat_timer.stop()
+        if self._pacer is not None:
+            self._pacer.halt()
         self.coordinator.halt()
         self.coordinator.restore(
             {

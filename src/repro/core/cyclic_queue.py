@@ -37,6 +37,11 @@ class CyclicQueue:
         self._started = False
         self.overwrites = 0
         self.stale_dropped = 0
+        #: Largest head→edge pending span ever reached — the occupancy
+        #: ceiling the soak SLO guard watches through the metrics
+        #: collectors (a span that keeps growing means the reader has
+        #: fallen behind the writer).
+        self.high_watermark = 0
         #: Undelivered (pending) slots that were overwritten because the
         #: writer lapped the reader — real data loss, accounted here so
         #: it is never silent.  Stale previous-lap overwrites (the
@@ -92,6 +97,9 @@ class CyclicQueue:
         if not self._started or advance < self.size // 2:
             self._edge = (index + 1) % self.size
             self._started = True
+        span = self._pending_span()
+        if span > self.high_watermark:
+            self.high_watermark = span
 
     def pop_head(self) -> Optional[Tuple[int, Packet]]:
         """Take the next buffered packet between head and write edge.

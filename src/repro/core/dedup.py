@@ -51,6 +51,15 @@ class PacketDeduplicator:
         total = self.accepted + self.duplicates
         return self.duplicates / total if total else 0.0
 
+    def window_size(self) -> int:
+        """Keys currently remembered (≤ capacity by construction) —
+        a bounded-memory probe for the soak SLO guard."""
+        return len(self._seen)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
     # -- checkpoint support -------------------------------------------
 
     def snapshot(self) -> dict:

@@ -314,6 +314,43 @@ class FaultPlan:
 
         return cls(events=events)
 
+    @classmethod
+    def soak(
+        cls,
+        rng: RngRegistry,
+        ap_ids: Sequence[str],
+        duration_us: int,
+        *,
+        intensity: float = 1.0,
+        controller_id: str = "controller",
+    ) -> "FaultPlan":
+        """Continuous background chaos for endurance runs.
+
+        A convenience preset over :meth:`random` scaled by a single
+        ``intensity`` knob: at 1.0 a rolling AP crash/restart lands
+        roughly every 20 s somewhere in the array, with backhaul
+        jitter and CSI blackouts at similar cadence — enough that a
+        multi-minute soak is *never* fault-free, while keeping most of
+        the array healthy at any instant.  Downtimes are short (AP
+        2 s) so churned clients always have live cells to land on.
+        Same determinism contract as :meth:`random`.
+        """
+        if intensity < 0:
+            raise ValueError("intensity must be non-negative")
+        return cls.random(
+            rng,
+            ap_ids,
+            duration_us,
+            crash_rate_per_s=0.05 * intensity,
+            crash_down_us=2_000_000,
+            jitter_rate_per_s=0.05 * intensity,
+            jitter_us=2_000,
+            jitter_duration_us=1_000_000,
+            csi_blackout_rate_per_s=0.05 * intensity,
+            csi_blackout_duration_us=1_000_000,
+            controller_id=controller_id,
+        )
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------

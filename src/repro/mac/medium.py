@@ -109,6 +109,17 @@ class WirelessMedium:
             raise ValueError(f"duplicate device {device.node_id!r}")
         self._devices[device.node_id] = device
 
+    def unregister(self, node_id: str) -> None:
+        """Remove a retired device from the medium.
+
+        Churn support: a departed vehicle must stop being a candidate
+        receiver (and stop pinning its MacEntity).  Callers must defer
+        this past the interference-history horizon — ``busy_until`` and
+        ``_interference_mw`` replay recent ``_transmissions`` through
+        the channel map, which fails once the port is forgotten.
+        """
+        self._devices.pop(node_id, None)
+
     def devices(self):
         return self._devices.values()
 

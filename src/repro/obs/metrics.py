@@ -27,6 +27,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsStream",
     "metric_key",
 ]
 
@@ -203,3 +204,44 @@ class MetricsRegistry:
         with open(path, "w") as handle:
             handle.write(self.to_json())
             handle.write("\n")
+
+
+class MetricsStream:
+    """Append-only JSONL telemetry stream of registry snapshots.
+
+    One line per sample: ``{"t_us": ..., "kind": ..., ...payload}`` in
+    canonical JSON (sorted keys, minimal separators), flushed per line
+    so a soak can be watched live with ``tail -f``.  The soak SLO
+    guard writes ``sample`` lines (full snapshots), ``checkpoint``
+    lines (determinism fingerprints) and ``violation`` lines through
+    the same stream, giving one chronologically ordered artifact per
+    run.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = open(path, "w")
+        self.lines_written = 0
+
+    def write(self, t_us: int, kind: str, payload: Dict[str, object]) -> None:
+        record: Dict[str, object] = {"t_us": int(t_us), "kind": kind}
+        record.update(payload)
+        self._handle.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+        )
+        self._handle.write("\n")
+        self._handle.flush()
+        self.lines_written += 1
+
+    def write_snapshot(self, t_us: int, registry: "MetricsRegistry") -> None:
+        self.write(t_us, "sample", {"metrics": registry.snapshot()})
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "MetricsStream":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -134,6 +134,20 @@ def reset_phy_memos() -> None:
     _rssi_memo.clear()
 
 
+def reset_phy_memo_stats() -> None:
+    """Zero the hit/miss/eviction counters (entries untouched).
+
+    The soak harness calls this alongside :func:`reset_phy_memos` so
+    that two same-seed runs in one process stream byte-identical
+    telemetry — the counters are process-lifetime by default and would
+    otherwise carry the first run's totals into the second.
+    """
+    for memo in (_esnr_memo, _coded_memo, _preamble_memo_lru, _rssi_memo):
+        memo.hits = 0
+        memo.misses = 0
+        memo.evictions = 0
+
+
 # ----------------------------------------------------------------------
 # batch prewarm hooks (repro.phy.batch seeds these after a fused
 # multi-link evaluation so the per-frame scalar entry points hit)

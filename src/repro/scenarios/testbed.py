@@ -138,10 +138,12 @@ class ClientNode:
         testbed: "Testbed",
         index: int,
         track: VehicleTrack,
+        client_id: Optional[str] = None,
     ):
-        self.client_id = f"client{index}"
+        self.client_id = client_id or f"client{index}"
         self.track = track
         self.testbed = testbed
+        self.retired = False
         config = testbed.config
         testbed.channel.register_port(
             RadioPort(
@@ -193,6 +195,18 @@ class ClientNode:
 
             self._keepalive_timer = Timer(testbed.sim, keepalive_tick)
             self._keepalive_timer.start(interval)
+
+    def retire(self) -> None:
+        """Stop every self-rearming activity this node owns.
+
+        Without this the keepalive timer reschedules itself forever —
+        one leaked timer per departed rider is exactly the unbounded
+        growth a churn soak exists to catch.
+        """
+        self.retired = True
+        timer = getattr(self, "_keepalive_timer", None)
+        if timer is not None:
+            timer.stop()
 
     def send_uplink(self, packet: Packet) -> None:
         """Hand a locally generated datagram to the radio."""
@@ -258,6 +272,11 @@ class Testbed:
         self.clients: List[ClientNode] = []
         for index, track in enumerate(self._client_tracks()):
             self.clients.append(ClientNode(self, index, track))
+        self._next_client_index = len(self.clients)
+        #: Retired ids live here until their deferred radio teardown
+        #: fires (see :meth:`retire_client`).
+        self._retiring: Dict[str, ClientNode] = {}
+        self.clients_retired = 0
         if config.instant_association:
             for client in self.clients:
                 self._associate_instantly(client)
@@ -453,6 +472,21 @@ class Testbed:
         out["switches_abandoned"] = controller.coordinator.abandoned
         out["switches_aborted"] = controller.coordinator.aborted
         out["liveness_events"] = len(controller.liveness.events)
+        # Convenience top-level aliases the soak SLO guard (and humans
+        # reading ``drive --metrics``) watch without knowing the
+        # controller_stat{name=...} key scheme.
+        out["backpressure_on"] = controller.stats["backpressure_on"]
+        out["backpressure_off"] = controller.stats["backpressure_off"]
+        # Bounded-memory gauges: each of these must plateau on a soak.
+        out["controller_tracked_clients"] = len(controller._clients)
+        out["controller_index_cursors"] = (
+            controller._index_alloc.tracked_clients()
+        )
+        out["controller_selector_series"] = controller.selector.series_count()
+        out["controller_dedup_window"] = controller.dedup.window_size()
+        if controller._pacer is not None:
+            out["admission_backlog"] = controller._pacer.backlog()
+            out["admission_clients"] = controller._pacer.tracked_clients()
         if self.fault_injector is not None:
             out["faults_executed"] = len(self.fault_injector.events)
         return out
@@ -462,9 +496,18 @@ class Testbed:
         for ap_id, ap in self.wgtt_aps.items():
             for name, value in ap.stats.items():
                 out[metric_key("ap_stat", ap=ap_id, name=name)] = value
+            queues = ap._cyclic.values()
             out[metric_key("ap_overflow_drops", ap=ap_id)] = sum(
-                queue.overflow_drops for queue in ap._cyclic.values()
+                queue.overflow_drops for queue in queues
             )
+            out[metric_key("ap_cyclic_queues", ap=ap_id)] = len(ap._cyclic)
+            out[metric_key("ap_cyclic_high_watermark", ap=ap_id)] = max(
+                (queue.high_watermark for queue in queues), default=0
+            )
+            out[metric_key("ap_cyclic_overwrites", ap=ap_id)] = sum(
+                queue.overwrites for queue in queues
+            )
+            out[metric_key("ap_hold_buffer", ap=ap_id)] = len(ap._hold_buffer)
             device = ap.device.stats
             out[metric_key("ap_mpdus_sent", ap=ap_id)] = device["mpdus_sent"]
             out[metric_key("ap_ba_timeouts", ap=ap_id)] = device["ba_timeouts"]
@@ -482,8 +525,15 @@ class Testbed:
 
     def _nearest_ap(self, client: ClientNode) -> str:
         position = client.track.position_at(self.sim.now)
+        candidates = self.ap_ids
+        if self.wgtt_aps:
+            # Mid-run arrivals (churn) must not be homed onto a crashed
+            # AP; at t=0 everything is alive and this filter is a no-op.
+            live = [a for a in self.ap_ids if self.wgtt_aps[a].alive]
+            if live:
+                candidates = live
         return min(
-            self.ap_ids,
+            candidates,
             key=lambda ap: self.ap_positions[ap].distance_to(position),
         )
 
@@ -496,8 +546,14 @@ class Testbed:
                 first_ap=first_ap,
             )
             for ap in self.wgtt_aps.values():
-                ap.directory.admit(info)
-            self.controller.register_association(info)
+                if ap.alive:
+                    ap.directory.admit(info)
+            active = self.active_controller()
+            if active is not None and active.alive:
+                active.register_association(info)
+            # else: controller down mid-arrival — the AP directories
+            # admitted above replay the association (sta-sync +
+            # serving-claim) during the ctrl-hello resync on restart.
             if self.standby is not None:
                 self.standby.directory.admit(info)
             self.wgtt_aps[first_ap].start_serving(client.client_id)
@@ -542,12 +598,91 @@ class Testbed:
             return self.ha.active_controller()
         return self.controller
 
-    def depart_client(self, client_index: int = 0) -> None:
-        """Deregister a client everywhere (commuter leaves the bus)."""
-        client_id = self.clients[client_index].client_id
+    def depart_client(
+        self,
+        client_index: Optional[int] = None,
+        *,
+        client_id: Optional[str] = None,
+    ) -> None:
+        """Deregister a client everywhere (commuter leaves the bus).
+
+        Accepts either a positional index into :attr:`clients` (the
+        historical call shape, default 0) or an explicit ``client_id``
+        keyword — churn code holds ids, not list positions, because
+        positions shift as other clients retire.
+        """
+        if client_id is None:
+            index = 0 if client_index is None else client_index
+            client_id = self.clients[index].client_id
+        elif client_index is not None:
+            raise ValueError("pass client_index or client_id, not both")
         active = self.active_controller()
         if active is not None:
             active.deregister_client(client_id)
+
+    # ------------------------------------------------------------------
+    # client churn (soak extension)
+    # ------------------------------------------------------------------
+
+    #: How long after retirement the radio port is actually torn down.
+    #: The medium replays its recent transmission history (20 ms) for
+    #: interference, and in-flight backhaul fan-outs may still name the
+    #: client; tearing the port down under them would fault.  50 ms
+    #: clears both horizons with margin.
+    RETIRE_TEARDOWN_DELAY_US = 50_000
+
+    def client_by_id(self, client_id: str) -> Optional[ClientNode]:
+        for client in self.clients:
+            if client.client_id == client_id:
+                return client
+        return None
+
+    def add_client(
+        self,
+        track: VehicleTrack,
+        client_id: Optional[str] = None,
+    ) -> ClientNode:
+        """Mid-run arrival: a new vehicle enters the road.
+
+        Builds the full client node (radio port, Wi-Fi device, host,
+        keepalives) and — under ``instant_association`` — admits it to
+        the array exactly like a t=0 client, homed on the nearest
+        *live* AP.  Ids must be fresh: the channel map and backhaul
+        reject duplicates by design.
+        """
+        index = self._next_client_index
+        self._next_client_index += 1
+        client = ClientNode(self, index, track, client_id=client_id)
+        self.clients.append(client)
+        if self.config.instant_association:
+            self._associate_instantly(client)
+        return client
+
+    def retire_client(self, client_id: str) -> None:
+        """Mid-run departure: tear down one client's local footprint.
+
+        The caller is responsible for protocol-level deregistration
+        (:meth:`depart_client`) *before* retiring — this method frees
+        the simulation-side resources: keepalive timer, radio power,
+        membership in :attr:`clients`, and (deferred past the
+        interference-history horizon) the medium registration and the
+        channel map's port and links.
+        """
+        client = self.client_by_id(client_id)
+        if client is None:
+            return
+        client.retire()
+        client.device.power_off()
+        self.clients.remove(client)
+        self._retiring[client_id] = client
+        self.clients_retired += 1
+
+        def teardown() -> None:
+            self._retiring.pop(client_id, None)
+            self.medium.unregister(client_id)
+            self.channel.forget_port(client_id)
+
+        self.sim.schedule(self.RETIRE_TEARDOWN_DELAY_US, teardown)
 
     # ------------------------------------------------------------------
     # traffic plumbing

@@ -1,0 +1,393 @@
+"""SLO / invariant guard for endurance runs.
+
+The guard samples the testbed on a **sim-time** cadence (so two runs of
+the same seed sample at identical instants), and on every sample:
+
+* snapshots the :class:`~repro.obs.metrics.MetricsRegistry` and streams
+  it as a ``sample`` line to the JSONL telemetry stream (tail -f-able);
+* probes every structure that must stay bounded — selection windows,
+  dedup window, index cursors, per-AP cyclic queues, hold buffers, the
+  channel map's port table, the medium's device table, the engine's
+  event heap, the PHY memo LRUs, the admission pacer's backlog — and
+  raises a violation the moment one exceeds its hard cap;
+* every ``checkpoint_every`` samples, folds the full snapshot into a
+  SHA-256 **fingerprint checkpoint** (written as a ``checkpoint``
+  line).  Two same-seed runs must produce identical checkpoint chains —
+  any divergence pinpoints *when* determinism drifted, not just that
+  it did.
+
+At :meth:`finish` the guard additionally asserts the **memory
+plateau** (no bounded gauge may still be growing in the final third of
+the run) and the **latency/loss budgets** over the churn driver's
+aggregated flow outcomes, then emits a structured report.
+
+``fail_fast=True`` raises :class:`SoakViolationError` at the offending
+sample; the default collects violations so a CI smoke can report all
+of them at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.obs.metrics import MetricsStream
+from repro.sim.engine import SECOND, Timer
+
+if TYPE_CHECKING:
+    from repro.scenarios.testbed import Testbed
+    from repro.soak.churn import ChurnDriver
+
+
+@dataclass(frozen=True)
+class SloViolation:
+    """One guard assertion failure, machine-readable."""
+
+    t_us: int
+    kind: str  # "bounded-memory" | "plateau" | "budget"
+    probe: str
+    value: float
+    limit: float
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "t_us": self.t_us,
+            "kind": self.kind,
+            "probe": self.probe,
+            "value": self.value,
+            "limit": self.limit,
+            "message": self.message,
+        }
+
+
+class SoakViolationError(AssertionError):
+    """Raised in fail-fast mode at the first violated invariant."""
+
+    def __init__(self, violations: List[SloViolation]):
+        self.violations = violations
+        lines = "; ".join(v.message for v in violations)
+        super().__init__(f"soak SLO violated: {lines}")
+
+
+@dataclass
+class SloBudgets:
+    """Hard caps the guard enforces.
+
+    ``max_concurrent`` scales the per-client structures; the rest are
+    absolute.  Budgets marked end-of-run are only evaluated at
+    :meth:`SloGuard.finish`.
+    """
+
+    max_concurrent: int = 64
+    #: Slack on per-client structure caps (in-flight arrivals/retires).
+    client_slack: int = 8
+    #: Engine event-heap ceiling (events).
+    max_pending_events: int = 250_000
+    #: End-of-run delivered/offered floor over all finished flows.
+    min_delivery_ratio: float = 0.30
+    #: End-of-run mean one-way delay ceiling (µs) over delivered pkts.
+    max_mean_delay_us: float = 1 * SECOND
+    #: Plateau test: max(final third) must not exceed
+    #: max(earlier samples) * tolerance + slack for any bounded gauge.
+    plateau_tolerance: float = 1.25
+    plateau_slack: int = 16
+
+
+class SloGuard:
+    """Cadenced sampler + invariant checker + telemetry streamer."""
+
+    def __init__(
+        self,
+        testbed: "Testbed",
+        churn: Optional["ChurnDriver"] = None,
+        *,
+        interval_us: int = 1 * SECOND,
+        checkpoint_every: int = 5,
+        budgets: Optional[SloBudgets] = None,
+        stream: Optional[MetricsStream] = None,
+        fail_fast: bool = False,
+    ):
+        if interval_us <= 0:
+            raise ValueError("interval_us must be positive")
+        self._testbed = testbed
+        self._churn = churn
+        self._interval_us = interval_us
+        self._checkpoint_every = max(1, checkpoint_every)
+        self.budgets = budgets if budgets is not None else SloBudgets()
+        self._stream = stream
+        self._fail_fast = fail_fast
+        self._timer = Timer(testbed.sim, self._sample)
+        self.samples = 0
+        self.violations: List[SloViolation] = []
+        #: Probe history for the plateau check: probe -> [value, ...].
+        self._series: Dict[str, List[float]] = {}
+        self._checkpoints: List[str] = []
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self._timer.start(self._interval_us)
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 over the checkpoint chain — the run's identity."""
+        digest = hashlib.sha256()
+        for checkpoint in self._checkpoints:
+            digest.update(checkpoint.encode("ascii"))
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    # probes
+    # ------------------------------------------------------------------
+
+    def _probe(self) -> Dict[str, float]:
+        """Every bounded structure, read without side effects."""
+        testbed = self._testbed
+        controller = testbed.controller
+        out: Dict[str, float] = {
+            "engine_pending_events": testbed.sim.pending_events(),
+            "channel_ports": len(testbed.channel._ports),
+            "medium_devices": len(testbed.medium._devices),
+            "clients_active": len(testbed.clients),
+            "clients_retiring": len(testbed._retiring),
+        }
+        if controller is not None:
+            out["controller_tracked_clients"] = len(controller._clients)
+            out["controller_index_cursors"] = (
+                controller._index_alloc.tracked_clients()
+            )
+            out["selector_series"] = controller.selector.series_count()
+            out["dedup_window"] = controller.dedup.window_size()
+            if controller._pacer is not None:
+                out["admission_backlog"] = controller._pacer.backlog()
+                out["admission_clients"] = (
+                    controller._pacer.tracked_clients()
+                )
+        if testbed.wgtt_aps:
+            out["ap_cyclic_queues_max"] = max(
+                len(ap._cyclic) for ap in testbed.wgtt_aps.values()
+            )
+            out["ap_hold_buffer_max"] = max(
+                len(ap._hold_buffer) for ap in testbed.wgtt_aps.values()
+            )
+        from repro.phy.per import phy_memo_stats
+
+        out["phy_memo_max"] = max(
+            stats["size"] for stats in phy_memo_stats().values()
+        )
+        if self._churn is not None:
+            out["churn_pending_dereg"] = self._churn.pending_dereg_count()
+        return out
+
+    def _limits(self) -> Dict[str, float]:
+        """Hard cap per probe (absent probes are unbounded-by-policy)."""
+        budgets = self.budgets
+        testbed = self._testbed
+        per_client = budgets.max_concurrent + budgets.client_slack
+        num_aps = len(testbed.ap_ids)
+        wgtt = testbed.config.wgtt
+        limits: Dict[str, float] = {
+            "engine_pending_events": budgets.max_pending_events,
+            "channel_ports": num_aps + per_client + 2,
+            "medium_devices": num_aps + per_client + 2,
+            "clients_active": per_client,
+            "controller_tracked_clients": per_client,
+            "controller_index_cursors": per_client,
+            "selector_series": per_client * max(1, num_aps),
+            "dedup_window": 0,  # replaced below with the real capacity
+            "ap_cyclic_queues_max": per_client,
+            "ap_hold_buffer_max": wgtt.ctrl_hold_buffer_slots,
+            "admission_backlog": per_client * wgtt.admission_queue_slots,
+            "admission_clients": per_client,
+            "churn_pending_dereg": per_client,
+        }
+        controller = testbed.controller
+        if controller is not None:
+            limits["dedup_window"] = controller.dedup.capacity
+        from repro.phy.per import phy_memo_stats
+
+        limits["phy_memo_max"] = max(
+            stats["capacity"] for stats in phy_memo_stats().values()
+        )
+        return limits
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+
+    def _sample(self) -> None:
+        sim = self._testbed.sim
+        self.samples += 1
+        probes = self._probe()
+        for name, value in probes.items():
+            self._series.setdefault(name, []).append(float(value))
+        snapshot = self._testbed.obs.metrics.snapshot()
+        if self._stream is not None:
+            self._stream.write(
+                sim.now, "sample", {"metrics": snapshot, "probes": probes}
+            )
+        fresh: List[SloViolation] = []
+        limits = self._limits()
+        for name, limit in limits.items():
+            value = probes.get(name)
+            if value is not None and value > limit:
+                fresh.append(
+                    SloViolation(
+                        t_us=sim.now,
+                        kind="bounded-memory",
+                        probe=name,
+                        value=float(value),
+                        limit=float(limit),
+                        message=(
+                            f"{name}={value} exceeds bound {limit} "
+                            f"at t={sim.now}us"
+                        ),
+                    )
+                )
+        if self.samples % self._checkpoint_every == 0:
+            payload = json.dumps(
+                {"t_us": sim.now, "metrics": snapshot, "probes": probes},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+            checkpoint = hashlib.sha256(payload.encode()).hexdigest()
+            self._checkpoints.append(checkpoint)
+            if self._stream is not None:
+                self._stream.write(
+                    sim.now, "checkpoint", {"sha256": checkpoint}
+                )
+        self._record(fresh)
+        self._timer.start(self._interval_us)
+
+    def _record(self, fresh: List[SloViolation]) -> None:
+        if not fresh:
+            return
+        self.violations.extend(fresh)
+        if self._stream is not None:
+            for violation in fresh:
+                self._stream.write(
+                    violation.t_us, "violation", violation.to_dict()
+                )
+        if self._fail_fast:
+            raise SoakViolationError(fresh)
+
+    # ------------------------------------------------------------------
+    # end of run
+    # ------------------------------------------------------------------
+
+    #: Probes subject to the plateau test: the per-client structures a
+    #: reclamation leak would inflate.  Capacity-bounded FIFOs/LRUs
+    #: (dedup window, PHY memos, hold buffers, pacing backlog) are
+    #: excluded — filling toward a hard cap is their designed behaviour
+    #: and the hard cap above already polices them.
+    PLATEAU_PROBES = (
+        "clients_active",
+        "clients_retiring",
+        "channel_ports",
+        "medium_devices",
+        "controller_tracked_clients",
+        "controller_index_cursors",
+        "selector_series",
+        "ap_cyclic_queues_max",
+        "admission_clients",
+        "churn_pending_dereg",
+    )
+
+    def _check_plateau(self) -> List[SloViolation]:
+        """No leak-prone gauge may still be growing late in the run."""
+        budgets = self.budgets
+        out: List[SloViolation] = []
+        for name in self.PLATEAU_PROBES:
+            series = self._series.get(name, [])
+            if len(series) < 6:
+                continue
+            split = (2 * len(series)) // 3
+            early_peak = max(series[:split])
+            late_peak = max(series[split:])
+            allowed = early_peak * budgets.plateau_tolerance + (
+                budgets.plateau_slack
+            )
+            if late_peak > allowed:
+                out.append(
+                    SloViolation(
+                        t_us=self._testbed.sim.now,
+                        kind="plateau",
+                        probe=name,
+                        value=late_peak,
+                        limit=allowed,
+                        message=(
+                            f"{name} still growing: late peak "
+                            f"{late_peak} > allowed {allowed:.1f} "
+                            f"(early peak {early_peak})"
+                        ),
+                    )
+                )
+        return out
+
+    def _check_budgets(self) -> List[SloViolation]:
+        out: List[SloViolation] = []
+        if self._churn is None:
+            return out
+        now = self._testbed.sim.now
+        delivery = self._churn.delivery_ratio()
+        if (
+            delivery is not None
+            and delivery < self.budgets.min_delivery_ratio
+        ):
+            out.append(
+                SloViolation(
+                    t_us=now,
+                    kind="budget",
+                    probe="delivery_ratio",
+                    value=delivery,
+                    limit=self.budgets.min_delivery_ratio,
+                    message=(
+                        f"delivery ratio {delivery:.3f} below floor "
+                        f"{self.budgets.min_delivery_ratio}"
+                    ),
+                )
+            )
+        delay = self._churn.mean_delay_us()
+        if delay is not None and delay > self.budgets.max_mean_delay_us:
+            out.append(
+                SloViolation(
+                    t_us=now,
+                    kind="budget",
+                    probe="mean_delay_us",
+                    value=delay,
+                    limit=self.budgets.max_mean_delay_us,
+                    message=(
+                        f"mean delay {delay:.0f}us above ceiling "
+                        f"{self.budgets.max_mean_delay_us:.0f}us"
+                    ),
+                )
+            )
+        return out
+
+    def finish(self) -> Dict[str, object]:
+        """Stop sampling, run end-of-run checks, emit the report."""
+        if self._finished:
+            raise RuntimeError("guard already finished")
+        self._finished = True
+        self.stop()
+        self._record(self._check_plateau())
+        self._record(self._check_budgets())
+        report: Dict[str, object] = {
+            "samples": self.samples,
+            "checkpoints": len(self._checkpoints),
+            "fingerprint": self.fingerprint,
+            "violations": [v.to_dict() for v in self.violations],
+            "ok": not self.violations,
+        }
+        if self._stream is not None:
+            self._stream.write(self._testbed.sim.now, "summary", report)
+        return report

@@ -36,6 +36,16 @@ class Host:
     def attach_udp_sink(self, sink: UdpSink) -> None:
         self._udp_sinks[sink.flow_id] = sink
 
+    def detach_udp_sink(self, flow_id: str) -> None:
+        """Drop a finished flow's sink.
+
+        Churn soaks attach thousands of short flows to the server host;
+        without detaching, every sink (and its per-packet arrival list)
+        would be pinned for the whole run.  Late packets for a detached
+        flow count in ``unrouted``.
+        """
+        self._udp_sinks.pop(flow_id, None)
+
     def attach_raw(self, flow_id: str, handler: Callable[[Packet], None]) -> None:
         """Escape hatch for application-specific protocols."""
         self._raw_handlers[flow_id] = handler

@@ -17,6 +17,7 @@ EXPECTED_IDS = {
     "ext_density",
     "ext_faults",
     "ext_ha",
+    "ext_soak",
     "fig02",
     "fig04",
     "fig10",
@@ -90,6 +91,7 @@ class TestUniformRun:
     def test_smoke_variant_where_provided(self):
         assert registry.get("ext_faults").has_smoke
         assert registry.get("ext_ha").has_smoke
+        assert registry.get("ext_soak").has_smoke
         assert not registry.get("fig13").has_smoke
         with pytest.raises(ValueError, match="no smoke variant"):
             registry.get("fig13").run(smoke=True)
