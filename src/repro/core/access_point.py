@@ -90,6 +90,20 @@ class WgttAccessPoint:
         self._serving: Set[str] = set()
         #: Controller-published map of which AP serves each client.
         self._serving_view: Dict[str, str] = {}
+        #: client -> highest serving generation applied; updates whose
+        #: ``(epoch_us, seq)`` tag is not strictly newer are dropped,
+        #: so duplicated or replayed serving-updates cannot roll the
+        #: view back to a stale AP.
+        self._serving_gen_view: Dict[str, Tuple[int, int]] = {}
+        #: client -> highest switch_id handled (stop, start, or
+        #: failover).  Replays from an *older* handshake are dropped;
+        #: retransmissions of the current handshake (equal id) re-run
+        #: the handler, which is the protocol's own recovery path.
+        self._switch_handled: Dict[str, int] = {}
+        #: Epoch of the newest controller authority acknowledged
+        #: (ctrl-takeover / ctrl-hello payload).  A replayed older
+        #: announcement must not re-home this AP to a dead controller.
+        self._ctrl_epoch = -1
         self._ba_seen = BaSeenCache()
         self._refilling = False
 
@@ -120,7 +134,10 @@ class WgttAccessPoint:
         #: messages already queued behind the per-port data FIFO; a
         #: late fan-out arriving after teardown would silently recreate
         #: the client's cyclic queue and leak it forever under churn.
-        self._departed: Set[str] = set()
+        #: Maps client -> departure time so a replayed pre-departure
+        #: sta-sync (associated_at_us <= departure) can be told apart
+        #: from a genuine re-admission.
+        self._departed: Dict[str, int] = {}
         self._departed_order: Deque[str] = deque()
         self._departed_cap = 4096
 
@@ -149,6 +166,17 @@ class WgttAccessPoint:
             "backpressure_signals": 0,
             "clients_departed": 0,
             "data_after_departure": 0,
+            # Adversary-facing rejection counters: zero on every
+            # healthy run (metrics export filters them while zero so
+            # adversary-free fingerprints are unchanged).
+            "stale_stops": 0,
+            "stale_starts": 0,
+            "stale_failovers": 0,
+            "stale_takeovers": 0,
+            "stale_ctrl_hellos": 0,
+            "stale_serving_updates": 0,
+            "stale_sta_syncs": 0,
+            "serving_relinquished": 0,
         }
         backhaul.register(ap_id, self._on_backhaul)
         self._heartbeat_timer = Timer(self._sim, self._heartbeat_tick)
@@ -216,12 +244,14 @@ class WgttAccessPoint:
         self._backpressured.clear()
         self._departed.clear()
         self._departed_order.clear()
+        self._switch_handled.clear()
         self.device.power_off()
         for queue in self._cyclic.values():
             queue.clear()
         self._cyclic.clear()
         self._serving.clear()
         self._serving_view.clear()
+        self._serving_gen_view.clear()
         self.directory = AssociationDirectory()
         self._ba_seen = BaSeenCache()
         self._backhaul.set_node_down(self.ap_id, True)
@@ -320,8 +350,40 @@ class WgttAccessPoint:
                 flushed=flushed,
             )
 
-    def _rehome(self, new_controller_id: str) -> None:
+    def _ctrl_epoch_ok(self, epoch: int, counter: str) -> bool:
+        """Admit a controller authority announcement once per epoch.
+
+        ``epoch`` is the announcing incarnation's start time, so a
+        strictly larger value is genuinely newer authority.  An equal
+        value is a duplicate of the announcement already applied and a
+        smaller one is a replay from a dead incarnation — both would
+        re-trigger the full re-home/resync storm (and a replay would
+        point this AP at a dead controller), so both are dropped.
+        """
+        if epoch <= self._ctrl_epoch:
+            self.stats[counter] += 1
+            tracer = self._sim.obs.trace
+            if tracer.active:
+                tracer.emit(
+                    "ap",
+                    "stale-ctrl-epoch",
+                    track=f"ap/{self.ap_id}",
+                    detail=True,
+                    ap=self.ap_id,
+                    epoch=epoch,
+                    current=self._ctrl_epoch,
+                )
+            return False
+        self._ctrl_epoch = epoch
+        # New controller incarnation: its switch_id space restarts, so
+        # the per-client replay guard must restart with it.
+        self._switch_handled.clear()
+        return True
+
+    def _rehome(self, new_controller_id: str, epoch: int) -> None:
         """ctrl-takeover: a promoted standby is the controller now."""
+        if not self._ctrl_epoch_ok(epoch, "stale_takeovers"):
+            return
         if new_controller_id != self._controller_id:
             self._controller_id = new_controller_id
             self.stats["rehomed"] += 1
@@ -364,7 +426,7 @@ class WgttAccessPoint:
                 size_bytes=16 + 8 * len(edges),
             )
 
-    def _ctrl_resync(self, src: str) -> None:
+    def _ctrl_resync(self, src: str, epoch: int) -> None:
         """ctrl-hello: a cold-restarted controller has empty state.
 
         Replay this AP's association directory (the sta-sync store the
@@ -374,6 +436,8 @@ class WgttAccessPoint:
         Claims ride the same FIFO data port as the sta-sync replay, so
         they can never arrive before the registration they refer to.
         """
+        if not self._ctrl_epoch_ok(epoch, "stale_ctrl_hellos"):
+            return
         self._controller_id = src
         self._ctrl_last_beat = self._sim.now
         if self._holding:
@@ -396,13 +460,15 @@ class WgttAccessPoint:
         """client-departed: free every per-client resource on this AP."""
         self.stats["clients_departed"] += 1
         if client_id not in self._departed:
-            self._departed.add(client_id)
             self._departed_order.append(client_id)
             if len(self._departed_order) > self._departed_cap:
-                self._departed.discard(self._departed_order.popleft())
+                self._departed.pop(self._departed_order.popleft(), None)
+        self._departed[client_id] = self._sim.now
         self._serving.discard(client_id)
         self._backpressured.discard(client_id)
         self._serving_view.pop(client_id, None)
+        self._serving_gen_view.pop(client_id, None)
+        self._switch_handled.pop(client_id, None)
         self._cyclic.pop(client_id, None)
         if self.directory.is_associated(client_id):
             self.directory.remove(client_id)
@@ -450,24 +516,65 @@ class WgttAccessPoint:
         elif kind == "ba-fwd":
             self._handle_forwarded_ba(payload)
         elif kind == "sta-sync":
-            if payload.client in self._departed:
+            departed_at = self._departed.get(payload.client)
+            if departed_at is not None:
+                if payload.associated_at_us <= departed_at:
+                    # A replayed pre-departure sta-sync: lifting the
+                    # departed guard for it would let late fan-outs
+                    # recreate the torn-down cyclic queue and leak it.
+                    self.stats["stale_sta_syncs"] += 1
+                    return
                 # Re-admission (a returning rider gets a fresh session):
                 # lift the departed-drop guard so fan-outs flow again.
-                self._departed.discard(payload.client)
+                del self._departed[payload.client]
                 try:
                     self._departed_order.remove(payload.client)
                 except ValueError:
                     pass
             self.directory.admit(payload)
         elif kind == "serving-update":
-            client_id, ap_id = payload
+            client_id, ap_id, gen = payload
+            last = self._serving_gen_view.get(client_id)
+            if last is not None and gen <= last:
+                # Duplicate or replayed update: the view already holds
+                # a same-or-newer generation.  Applying it could point
+                # BA forwarding at an AP that stopped serving long ago.
+                self.stats["stale_serving_updates"] += 1
+                return
+            self._serving_gen_view[client_id] = gen
             self._serving_view[client_id] = ap_id
+            if ap_id != self.ap_id and client_id in self._serving:
+                # The controller has authoritatively placed this client
+                # elsewhere while we still hold serving duty.  That only
+                # happens when we were unreachable during a failover (a
+                # partition hid the handover from us) — keep transmitting
+                # and two APs serve one client.  Relinquish immediately:
+                # the generation tag already proved this update is newer
+                # than anything we acted on.
+                self._serving.discard(client_id)
+                self._backpressured.discard(client_id)
+                session = self.device.session(client_id)
+                session.ba_timer.stop()
+                session.awaiting = None
+                session.scoreboard.abandon_all()
+                self.device.set_session_mode(client_id, "off")
+                self.stats["serving_relinquished"] += 1
+                tracer = self._sim.obs.trace
+                if tracer.active:
+                    tracer.emit(
+                        "ap",
+                        "serving-relinquish",
+                        track=f"ap/{self.ap_id}",
+                        ap=self.ap_id,
+                        client=client_id,
+                        new_ap=ap_id,
+                    )
         elif kind == "ctrl-heartbeat":
             self._ctrl_beat(src)
         elif kind == "ctrl-takeover":
-            self._rehome(src)
+            self._rehome(src, payload)
         elif kind == "ctrl-hello":
-            self._ctrl_resync(src)
+            self._ctrl_resync(src, payload)
         elif kind == "client-departed":
             self._client_departed(payload)
 
@@ -571,6 +678,41 @@ class WgttAccessPoint:
     # switching protocol, AP side
     # ------------------------------------------------------------------
 
+    def _switch_id_ok(
+        self, client_id: str, switch_id: int, counter: str
+    ) -> bool:
+        """Per-client handshake replay guard.
+
+        The controller issues strictly increasing switch_ids per
+        client, so a message carrying a *smaller* id than the newest
+        one handled here is a replay from a finished handshake.
+        Running it would be destructive — a stale stop revokes serving
+        duty the controller believes this AP holds, and a stale start
+        rewinds the cyclic reader over undelivered backlog.  An *equal*
+        id is the live handshake's own retransmission and re-runs the
+        handler: that re-execution is the protocol's loss-recovery
+        path and must stay untouched.
+        """
+        handled = self._switch_handled.get(client_id, -1)
+        if switch_id < handled:
+            self.stats[counter] += 1
+            tracer = self._sim.obs.trace
+            if tracer.active:
+                tracer.emit(
+                    "ap",
+                    "stale-switch-msg",
+                    track=f"switch/{client_id}",
+                    detail=True,
+                    ap=self.ap_id,
+                    client=client_id,
+                    switch_id=switch_id,
+                    handled=handled,
+                    counter=counter,
+                )
+            return False
+        self._switch_handled[client_id] = switch_id
+        return True
+
     def _handle_stop(self, message: StopMsg) -> None:
         """stop(c): cease serving; find k; send start(c, k) to the target.
 
@@ -580,8 +722,10 @@ class WgttAccessPoint:
         still in the software queues is filtered out; its first index
         becomes k.
         """
-        self.stats["stops_handled"] += 1
         client_id = message.client
+        if not self._switch_id_ok(client_id, message.switch_id, "stale_stops"):
+            return
+        self.stats["stops_handled"] += 1
         tracer = self._sim.obs.trace
         span = (
             tracer.begin(
@@ -646,8 +790,10 @@ class WgttAccessPoint:
         return max(500, int(self._rng.normal(mean, jitter / 2.0)))
 
     def _handle_start(self, message: StartMsg) -> None:
-        self.stats["starts_handled"] += 1
         client_id = message.client
+        if not self._switch_id_ok(client_id, message.switch_id, "stale_starts"):
+            return
+        self.stats["starts_handled"] += 1
         tracer = self._sim.obs.trace
         span = (
             tracer.begin(
@@ -692,8 +838,12 @@ class WgttAccessPoint:
         restarts the flow with zero backhaul re-sends.  An empty
         backlog resumes at the write edge — the next fanned-out packet.
         """
-        self.stats["failovers_handled"] += 1
         client_id = message.client
+        if not self._switch_id_ok(
+            client_id, message.switch_id, "stale_failovers"
+        ):
+            return
+        self.stats["failovers_handled"] += 1
         queue = self.cyclic_queue(client_id)
         tracer = self._sim.obs.trace
         span = (

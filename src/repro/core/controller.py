@@ -15,6 +15,7 @@ One commodity Linux box on the Ethernet backhaul runs everything:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.channel.csi import CsiReport
@@ -39,6 +40,17 @@ from repro.net.packet import Packet
 from repro.net.tunnel import tunnel_wire_size
 from repro.sim.engine import Simulator, Timer
 from repro.sim.rng import RngRegistry
+
+#: serving-claim is a cold-restart resync mechanism: claims arrive
+#: within a backhaul round trip of the controller's ctrl-hello.  A
+#: claim landing long after the current epoch began can only be a
+#: replayed capture from an *earlier* resync — accepting it would flip
+#: a client onto whatever AP served it back then.
+SERVING_CLAIM_WINDOW_US = 2_000_000
+
+#: Departed clients remembered for sta-sync replay rejection (matches
+#: the AP-side departed FIFO bound).
+DEPARTED_MEMORY_CAP = 4096
 
 
 class ClientState:
@@ -154,6 +166,17 @@ class WgttController:
         #: serving-claim(client) received before the client's sta-sync
         #: (cold-restart resync): applied at registration time.
         self._pending_claims: Dict[str, str] = {}
+        #: Controller epoch: when this incarnation's authority began
+        #: (construction, restart, or standby promotion).  Serving
+        #: generations are ``(epoch_us, seq)`` — lexicographic order
+        #: makes every post-restart update dominate every pre-restart
+        #: one without any cross-incarnation counter handoff.
+        self.epoch_us = sim.now
+        self._serving_seq = 0
+        #: client -> departure time: recently departed clients, for
+        #: rejecting replayed sta-syncs that would resurrect them
+        #: (bounded FIFO, mirroring the AP-side departed memory).
+        self._departed_at: "OrderedDict[str, int]" = OrderedDict()
 
         #: Delivered (de-duplicated) uplink datagrams go here.
         self.on_uplink: Callable[[Packet], None] = lambda packet: None
@@ -192,6 +215,11 @@ class WgttController:
             "admission_enqueued": 0,
             "admission_released": 0,
             "admission_dropped": 0,
+            # Adversary-facing rejection counters: zero on every
+            # healthy run (metrics export filters them while zero so
+            # adversary-free fingerprints are unchanged).
+            "stale_sta_syncs": 0,
+            "stale_serving_claims": 0,
         }
         #: Per-client fair pacing (soak extension).  None unless
         #: ``admission_enabled`` — the default ingress path never
@@ -233,6 +261,27 @@ class WgttController:
 
     def register_association(self, info: StaInfo) -> None:
         """Install a client (from sta-sync replication or directly)."""
+        departed_at = self._departed_at.get(info.client)
+        if departed_at is not None:
+            if info.associated_at_us <= departed_at:
+                # A replayed sta-sync from *before* the departure:
+                # admitting it would resurrect the client — recreating
+                # its selection timer and serving entry with no radio
+                # behind them, leaking both forever under churn.
+                self.stats["stale_sta_syncs"] += 1
+                tracer = self._sim.obs.trace
+                if tracer.active:
+                    tracer.emit(
+                        "controller",
+                        "stale-sta-sync",
+                        track="assoc",
+                        detail=True,
+                        client=info.client,
+                    )
+                return
+            # A genuine re-admission (fresh association after the
+            # departure): forget the departure.
+            del self._departed_at[info.client]
         self.directory.admit(info)
         if info.client not in self._clients:
             serving = self._pending_claims.pop(info.client, info.first_ap)
@@ -255,6 +304,9 @@ class WgttController:
         if state is None:
             return
         self.stats["clients_departed"] += 1
+        self._departed_at[client_id] = self._sim.now
+        if len(self._departed_at) > DEPARTED_MEMORY_CAP:
+            self._departed_at.popitem(last=False)
         timer = self._selection_timers.pop(client_id, None)
         if timer is not None:
             timer.stop()
@@ -299,7 +351,21 @@ class WgttController:
         else:
             timer.start_at(first_deadline_us)
 
+    def _next_serving_gen(self) -> Tuple[int, int]:
+        """Generation tag for one serving-update publication.
+
+        ``(epoch_us, seq)`` compares lexicographically: within an
+        incarnation ``seq`` orders updates exactly; across a restart or
+        promotion the fresh (strictly later) epoch dominates every tag
+        the previous incarnation ever issued.  Receivers drop any
+        update whose tag is not strictly newer than the one they hold,
+        which makes duplicated or replayed serving-updates harmless.
+        """
+        self._serving_seq += 1
+        return (self.epoch_us, self._serving_seq)
+
     def _publish_serving(self, client_id: str, ap_id: str) -> None:
+        gen = self._next_serving_gen()
         self.serving_timeline.append((self._sim.now, client_id, ap_id))
         tracer = self._sim.obs.trace
         if tracer.active:
@@ -309,6 +375,7 @@ class WgttController:
                 track="serving",
                 client=client_id,
                 ap=ap_id,
+                gen=gen,
             )
         self.on_serving_update(client_id, ap_id)
         targets = sorted(self._ap_ids)
@@ -318,7 +385,10 @@ class WgttController:
             targets.append(self.ha_peer)
         for ap in targets:
             self._backhaul.send_control(
-                self.controller_id, ap, "serving-update", (client_id, ap_id)
+                self.controller_id,
+                ap,
+                "serving-update",
+                (client_id, ap_id, gen),
             )
 
     # ------------------------------------------------------------------
@@ -460,6 +530,23 @@ class WgttController:
     def _handle_serving_claim(self, src: str, client_id: str) -> None:
         """Cold-restart resync: the AP actually serving ``client_id``
         corrects the restarted controller's first-AP guess."""
+        if self._sim.now - self.epoch_us > SERVING_CLAIM_WINDOW_US:
+            # Claims only legitimately arrive within a backhaul round
+            # trip of our own ctrl-hello; this one is a stale replay
+            # from an earlier resync and would flip the client onto
+            # whatever AP served it back then.
+            self.stats["stale_serving_claims"] += 1
+            tracer = self._sim.obs.trace
+            if tracer.active:
+                tracer.emit(
+                    "controller",
+                    "stale-serving-claim",
+                    track="serving",
+                    detail=True,
+                    client=client_id,
+                    ap=src,
+                )
+            return
         self.stats["serving_claims"] += 1
         state = self._clients.get(client_id)
         if state is None:
@@ -601,7 +688,7 @@ class WgttController:
                     self.controller_id,
                     ap_id,
                     "serving-update",
-                    (client_id, state.serving_ap),
+                    (client_id, state.serving_ap, self._next_serving_gen()),
                 )
 
     def _emergency_failover(self, client_id: str, dead_ap: str) -> None:
@@ -794,6 +881,7 @@ class WgttController:
         self._dead_aps.clear()
         self._last_heard.clear()
         self._pending_claims.clear()
+        self._departed_at.clear()
         self._backhaul.set_node_down(self.controller_id, True)
 
     def restart(self) -> None:
@@ -809,6 +897,11 @@ class WgttController:
             return
         self.alive = True
         self.stats["controller_restarts"] += 1
+        # New incarnation, new authority: every serving generation and
+        # every ctrl-hello issued from here on dominates the previous
+        # incarnation's, so replays of pre-crash traffic can never win.
+        self.epoch_us = self._sim.now
+        self._serving_seq = 0
         tracer = self._sim.obs.trace
         if tracer.active:
             tracer.emit(
@@ -818,7 +911,7 @@ class WgttController:
         if self.hello_on_restart:
             for ap in sorted(self._ap_ids):
                 self._backhaul.send_control(
-                    self.controller_id, ap, "ctrl-hello", None
+                    self.controller_id, ap, "ctrl-hello", self.epoch_us
                 )
         self.on_restart()
 

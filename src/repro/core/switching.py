@@ -154,6 +154,12 @@ class SwitchCoordinator:
         self.history: List[SwitchRecord] = []
         self.abandoned = 0
         self.aborted = 0
+        #: Acks that matched no pending handshake: duplicates of an ack
+        #: already consumed, acks for a switch aborted meanwhile, or
+        #: acks from superseded retransmission rounds.  All are
+        #: idempotent no-ops by design — the counter exists so an
+        #: adversary run can prove they happened *and* changed nothing.
+        self.stale_acks = 0
         #: Called with the completed SwitchRecord.
         self.on_complete: Callable[[SwitchRecord], None] = lambda record: None
         #: Called with every aborted SwitchRecord (retry cap exhausted,
@@ -253,7 +259,22 @@ class SwitchCoordinator:
     def on_ack(self, message: AckMsg) -> None:
         pending = self._pending.get(message.client)
         if pending is None or pending.switch_id != message.switch_id:
-            return  # stale ack from a retransmitted round
+            # Duplicate ack, ack after abort, or a superseded round:
+            # strictly a no-op (the record must never be mutated twice),
+            # but counted and traced so misbehaviour is visible.
+            self.stale_acks += 1
+            tracer = self._sim.obs.trace
+            if tracer.active:
+                tracer.emit(
+                    "controller",
+                    "stale-ack",
+                    track=f"switch/{message.client}",
+                    detail=True,
+                    client=message.client,
+                    ap=message.ap,
+                    switch_id=message.switch_id,
+                )
+            return
         pending.timer.stop()
         del self._pending[message.client]
         record = pending.record
@@ -357,6 +378,11 @@ class SwitchCoordinator:
             pending.timer.stop()
 
     def snapshot(self) -> dict:
+        # ``stale_acks`` is deliberately NOT checkpointed: it is durable
+        # observability (like ``stats``), not protocol state — and the
+        # checkpoint's canonical bytes ride the backhaul, so a counter
+        # that only moves under adversarial replay must not perturb
+        # wire sizes of adversary-free runs.
         return {
             "next_switch_id": self._next_switch_id,
             "abandoned": self.abandoned,
@@ -387,6 +413,9 @@ class SwitchCoordinator:
         self._next_switch_id = int(state["next_switch_id"])
         self.abandoned = int(state["abandoned"])
         self.aborted = int(state["aborted"])
+        # Durable counter: keep the in-memory value unless the snapshot
+        # carries one (it normally doesn't — see snapshot()).
+        self.stale_acks = int(state.get("stale_acks", self.stale_acks))
         self.history = [
             SwitchRecord.from_state(record) for record in state["history"]
         ]

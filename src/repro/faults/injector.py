@@ -24,8 +24,14 @@ from repro.faults.plan import (
     ControllerRestart,
     CsiBlackout,
     FaultPlan,
+    GrayFailure,
     LinkJitter,
+    MsgCorruption,
+    MsgDuplication,
+    OneWayPartition,
     Partition,
+    StaleReplay,
+    _kinds_str,
 )
 
 
@@ -56,8 +62,13 @@ class FaultInjector:
             ] = standby
         #: (time_us, action, subject) — the executed fault trace.
         #: Actions: crash / restart / partition / heal / jitter-on /
-        #: jitter-off / csi-off / csi-on.
+        #: jitter-off / csi-off / csi-on / ctrl-crash / ctrl-restart /
+        #: dup-on / dup-off / replay-capture / replay-fire /
+        #: corrupt-on / corrupt-off / oneway-on / oneway-off /
+        #: gray-on / gray-off.
         self.events: List[Tuple[int, str, str]] = []
+        #: Gray-failure windows opened so far (metrics surface this).
+        self.gray_windows = 0
         self._armed = False
 
     # ------------------------------------------------------------------
@@ -87,6 +98,16 @@ class FaultInjector:
                     delay,
                     lambda e=event: self._ctrl_restart(e.controller_id),
                 )
+            elif isinstance(event, MsgDuplication):
+                self.sim.schedule(delay, lambda e=event: self._dup_on(e))
+            elif isinstance(event, StaleReplay):
+                self.sim.schedule(delay, lambda e=event: self._replay_start(e))
+            elif isinstance(event, MsgCorruption):
+                self.sim.schedule(delay, lambda e=event: self._corrupt_on(e))
+            elif isinstance(event, OneWayPartition):
+                self.sim.schedule(delay, lambda e=event: self._oneway_on(e))
+            elif isinstance(event, GrayFailure):
+                self.sim.schedule(delay, lambda e=event: self._gray_on(e))
             else:  # pragma: no cover - plan types are closed
                 raise TypeError(f"unknown fault event {event!r}")
 
@@ -192,6 +213,81 @@ class FaultInjector:
             return  # already restarted
         self._log("ctrl-restart", controller_id)
         controller.restart()
+
+    # -- message-level adversary executors ----------------------------
+    #
+    # Each window's randomness comes from a stream whose label is
+    # derived from the event's own plan fields (like link jitter), so
+    # execution-time draws stay inside the determinism contract.
+
+    def _dup_on(self, event: MsgDuplication) -> None:
+        subject = _kinds_str(event.kinds)
+        self._log("dup-on", subject)
+        stream = self.rng.stream(f"faults/dup/{subject}@{event.at_us}")
+        handle = self.backhaul.set_duplication(
+            event.kinds, event.probability, event.copies, stream
+        )
+        self.sim.schedule(
+            event.duration_us, lambda: self._dup_off(handle, subject)
+        )
+
+    def _dup_off(self, handle: int, subject: str) -> None:
+        self._log("dup-off", subject)
+        self.backhaul.clear_duplication(handle)
+
+    def _replay_start(self, event: StaleReplay) -> None:
+        subject = _kinds_str(event.kinds)
+        self._log("replay-capture", subject)
+        handle = self.backhaul.start_replay_capture(event.kinds, event.count)
+        self.sim.schedule(
+            event.duration_us, lambda: self._replay_fire(handle, subject)
+        )
+
+    def _replay_fire(self, handle: int, subject: str) -> None:
+        replayed = self.backhaul.replay_captured(handle)
+        self._log("replay-fire", f"{subject}:{replayed}")
+
+    def _corrupt_on(self, event: MsgCorruption) -> None:
+        subject = _kinds_str(event.kinds)
+        self._log("corrupt-on", subject)
+        stream = self.rng.stream(f"faults/corrupt/{subject}@{event.at_us}")
+        handle = self.backhaul.set_corruption(
+            event.kinds, event.probability, stream
+        )
+        self.sim.schedule(
+            event.duration_us, lambda: self._corrupt_off(handle, subject)
+        )
+
+    def _corrupt_off(self, handle: int, subject: str) -> None:
+        self._log("corrupt-off", subject)
+        self.backhaul.clear_corruption(handle)
+
+    def _oneway_on(self, event: OneWayPartition) -> None:
+        subject = f"{event.src}->{event.dst}"
+        self._log("oneway-on", subject)
+        handle = self.backhaul.partition_oneway(event.src, event.dst)
+        self.sim.schedule(
+            event.duration_us, lambda: self._oneway_off(handle, subject)
+        )
+
+    def _oneway_off(self, handle: int, subject: str) -> None:
+        self._log("oneway-off", subject)
+        self.backhaul.heal_oneway(handle)
+
+    def _gray_on(self, event: GrayFailure) -> None:
+        self._log("gray-on", event.ap_id)
+        self.gray_windows += 1
+        stream = self.rng.stream(f"faults/gray/{event.ap_id}@{event.at_us}")
+        self.backhaul.set_node_degraded(
+            event.ap_id, event.extra_latency_us, event.loss_rate, stream
+        )
+        self.sim.schedule(
+            event.duration_us, lambda: self._gray_off(event.ap_id)
+        )
+
+    def _gray_off(self, ap_id: str) -> None:
+        self._log("gray-off", ap_id)
+        self.backhaul.clear_node_degraded(ap_id)
 
     # ------------------------------------------------------------------
     # queries

@@ -43,6 +43,40 @@ Event types
 ``ControllerRestart``
     Explicitly restart a (crashed) controller at ``at_us`` — for plans
     that separate the crash and the repair.
+
+Adversary event types (message-level, Jepsen-style)
+---------------------------------------------------
+
+``MsgDuplication``
+    For ``duration_us``, each backhaul message whose kind matches
+    ``kinds`` (``None`` = every kind) is delivered **plus** up to
+    ``copies`` extra copies with probability ``probability`` — the
+    classic retransmit-amplification adversary that flushes out
+    non-idempotent control handlers.
+
+``StaleReplay``
+    For ``duration_us`` the adversary *records* up to ``count``
+    matching messages; when the window closes it re-delivers them all
+    — old control traffic arriving long after the protocol moved on,
+    exactly what a healing partition's queued switch fabric does.
+
+``MsgCorruption``
+    For ``duration_us`` each matching message is corrupted with
+    probability ``probability``; corrupted messages fail their
+    checksum and are dropped *with accounting* (never silently).
+
+``OneWayPartition``
+    The directed backhaul link ``src -> dst`` drops everything for
+    ``duration_us`` while the reverse direction keeps working — the
+    asymmetric-reachability case symmetric :class:`Partition` cannot
+    express (acks flow, commands do not, or vice versa).
+
+``GrayFailure``
+    AP ``ap_id`` keeps heartbeating (heartbeats ride the prioritized
+    reliable control class) while every *other* message to or from it
+    picks up ``extra_latency_us`` and an extra ``loss_rate`` for
+    ``duration_us`` — the queue/CPU pathology of a sick-but-alive AP
+    that a liveness table alone can never see.
 """
 
 from __future__ import annotations
@@ -60,7 +94,30 @@ FaultEvent = Union[
     "CsiBlackout",
     "ControllerCrash",
     "ControllerRestart",
+    "MsgDuplication",
+    "StaleReplay",
+    "MsgCorruption",
+    "OneWayPartition",
+    "GrayFailure",
 ]
+
+
+def _kinds_str(kinds: Optional[FrozenSet[str]]) -> str:
+    """Stable display form of a message-kind filter."""
+    return "any" if kinds is None else ",".join(sorted(kinds))
+
+
+#: Message-class targets :meth:`FaultPlan.random` picks between when
+#: drawing duplication/replay adversary events: everything, the
+#: switch handshake, the replication/takeover control plane, and the
+#: data path.  Kept small and named so a plan's ``describe()`` output
+#: reads as intent, not noise.
+ADVERSARY_KIND_GROUPS: Tuple[Optional[FrozenSet[str]], ...] = (
+    None,
+    frozenset({"stop", "start", "ack", "failover"}),
+    frozenset({"sta-sync", "serving-update", "ctrl-takeover", "ctrl-hello"}),
+    frozenset({"uplink", "data"}),
+)
 
 
 @dataclass(frozen=True)
@@ -162,6 +219,128 @@ class ControllerRestart:
             raise ValueError("at_us must be non-negative")
 
 
+@dataclass(frozen=True)
+class MsgDuplication:
+    """Duplicate matching backhaul messages for ``duration_us``."""
+
+    at_us: int
+    duration_us: int
+    #: Per-message duplication probability.
+    probability: float = 0.3
+    #: Extra copies delivered per duplicated message.
+    copies: int = 1
+    #: Message kinds to target; ``None`` duplicates every kind.
+    kinds: Optional[FrozenSet[str]] = None
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0:
+            raise ValueError("at_us must be non-negative")
+        if self.duration_us <= 0:
+            raise ValueError("duration_us must be positive")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        if self.copies <= 0:
+            raise ValueError("copies must be positive")
+        if self.kinds is not None:
+            if not self.kinds:
+                raise ValueError("kinds must be non-empty (or None)")
+            object.__setattr__(self, "kinds", frozenset(self.kinds))
+
+
+@dataclass(frozen=True)
+class StaleReplay:
+    """Record up to ``count`` matching messages during the window,
+    then re-deliver them all when it closes."""
+
+    at_us: int
+    duration_us: int
+    #: Capture-buffer bound (replay is never unbounded).
+    count: int = 32
+    #: Message kinds to record; ``None`` records every kind.
+    kinds: Optional[FrozenSet[str]] = None
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0:
+            raise ValueError("at_us must be non-negative")
+        if self.duration_us <= 0:
+            raise ValueError("duration_us must be positive")
+        if self.count <= 0:
+            raise ValueError("count must be positive")
+        if self.kinds is not None:
+            if not self.kinds:
+                raise ValueError("kinds must be non-empty (or None)")
+            object.__setattr__(self, "kinds", frozenset(self.kinds))
+
+
+@dataclass(frozen=True)
+class MsgCorruption:
+    """Corrupt (checksum-fail -> drop, with accounting) matching
+    messages with ``probability`` for ``duration_us``."""
+
+    at_us: int
+    duration_us: int
+    probability: float = 0.05
+    #: Message kinds to target; ``None`` corrupts every kind.
+    kinds: Optional[FrozenSet[str]] = None
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0:
+            raise ValueError("at_us must be non-negative")
+        if self.duration_us <= 0:
+            raise ValueError("duration_us must be positive")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        if self.kinds is not None:
+            if not self.kinds:
+                raise ValueError("kinds must be non-empty (or None)")
+            object.__setattr__(self, "kinds", frozenset(self.kinds))
+
+
+@dataclass(frozen=True)
+class OneWayPartition:
+    """Drop everything on the directed link ``src -> dst`` only."""
+
+    at_us: int
+    duration_us: int
+    src: str
+    dst: str
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0:
+            raise ValueError("at_us must be non-negative")
+        if self.duration_us <= 0:
+            raise ValueError("duration_us must be positive")
+        if self.src == self.dst:
+            raise ValueError("src and dst must differ")
+
+
+@dataclass(frozen=True)
+class GrayFailure:
+    """AP ``ap_id`` heartbeats fine while its backhaul degrades."""
+
+    at_us: int
+    duration_us: int
+    ap_id: str
+    #: Extra one-way latency on non-reliable messages to/from the AP.
+    extra_latency_us: int = 2_000
+    #: Extra Bernoulli loss on non-reliable messages to/from the AP.
+    loss_rate: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0:
+            raise ValueError("at_us must be non-negative")
+        if self.duration_us <= 0:
+            raise ValueError("duration_us must be positive")
+        if self.extra_latency_us < 0:
+            raise ValueError("extra_latency_us must be non-negative")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError("loss_rate must be in [0, 1]")
+        if self.extra_latency_us == 0 and self.loss_rate == 0.0:
+            raise ValueError(
+                "gray failure needs extra_latency_us or loss_rate"
+            )
+
+
 def _sort_key(event: FaultEvent) -> Tuple[int, int, str]:
     """Deterministic total order: time, then type rank, then identity."""
     rank = {
@@ -171,15 +350,22 @@ def _sort_key(event: FaultEvent) -> Tuple[int, int, str]:
         CsiBlackout: 3,
         ControllerCrash: 4,
         ControllerRestart: 5,
+        MsgDuplication: 6,
+        StaleReplay: 7,
+        MsgCorruption: 8,
+        OneWayPartition: 9,
+        GrayFailure: 10,
     }
     if isinstance(event, ApCrash):
         ident = event.ap_id
     elif isinstance(event, Partition):
         ident = ",".join(sorted(event.side_a)) + "|" + ",".join(sorted(event.side_b))
-    elif isinstance(event, LinkJitter):
+    elif isinstance(event, (LinkJitter, OneWayPartition)):
         ident = f"{event.src}->{event.dst}"
     elif isinstance(event, (ControllerCrash, ControllerRestart)):
         ident = event.controller_id
+    elif isinstance(event, (MsgDuplication, StaleReplay, MsgCorruption)):
+        ident = _kinds_str(event.kinds)
     else:
         ident = event.ap_id
     return (event.at_us, rank[type(event)], ident)
@@ -193,6 +379,33 @@ class FaultPlan:
 
     def __post_init__(self) -> None:
         self.events = sorted(self.events, key=_sort_key)
+        self._validate()
+
+    def _validate(self) -> None:
+        """Cross-event checks the per-event ``__post_init__`` cannot do.
+
+        Two :class:`OneWayPartition` windows on the same *directed*
+        link must not overlap: the injector heals by directed link, so
+        an overlap would make the earlier heal silently reopen the
+        later window.  Opposite directions on the same node pair are
+        fine (that is just a full partition, expressed twice).
+        """
+        windows: dict = {}
+        for event in self.events:
+            if not isinstance(event, OneWayPartition):
+                continue
+            link = (event.src, event.dst)
+            for start, end in windows.get(link, ()):  # sorted by at_us
+                if event.at_us < end and start < event.at_us + event.duration_us:
+                    raise ValueError(
+                        "overlapping one-way partitions on directed link "
+                        f"{event.src}->{event.dst}: "
+                        f"[{start}, {end}) and "
+                        f"[{event.at_us}, {event.at_us + event.duration_us})"
+                    )
+            windows.setdefault(link, []).append(
+                (event.at_us, event.at_us + event.duration_us)
+            )
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -202,6 +415,7 @@ class FaultPlan:
         """Insert ``event`` keeping the schedule sorted; returns self."""
         self.events.append(event)
         self.events.sort(key=_sort_key)
+        self._validate()
         return self
 
     @classmethod
@@ -223,6 +437,22 @@ class FaultPlan:
         controller_crash_rate_per_s: float = 0.0,
         controller_crash_down_us: Optional[int] = 1_000_000,
         controller_id: str = "controller",
+        duplication_rate_per_s: float = 0.0,
+        duplication_duration_us: int = 500_000,
+        duplication_probability: float = 0.3,
+        duplication_copies: int = 1,
+        replay_rate_per_s: float = 0.0,
+        replay_duration_us: int = 200_000,
+        replay_count: int = 32,
+        corruption_rate_per_s: float = 0.0,
+        corruption_duration_us: int = 500_000,
+        corruption_probability: float = 0.05,
+        oneway_rate_per_s: float = 0.0,
+        oneway_duration_us: int = 200_000,
+        gray_rate_per_s: float = 0.0,
+        gray_duration_us: int = 1_000_000,
+        gray_extra_latency_us: int = 2_000,
+        gray_loss_rate: float = 0.2,
     ) -> "FaultPlan":
         """Draw a plan from named rng streams (``faults/...``).
 
@@ -312,6 +542,88 @@ class FaultPlan:
                 )
             )
 
+        # Message duplication -------------------------------------------
+        dup_gen = rng.stream("faults/dup/choice")
+        for at_us in _arrival_times("faults/dup", duplication_rate_per_s):
+            kinds = ADVERSARY_KIND_GROUPS[
+                int(dup_gen.integers(0, len(ADVERSARY_KIND_GROUPS)))
+            ]
+            events.append(
+                MsgDuplication(
+                    at_us=at_us,
+                    duration_us=duplication_duration_us,
+                    probability=duplication_probability,
+                    copies=duplication_copies,
+                    kinds=kinds,
+                )
+            )
+
+        # Stale replay ---------------------------------------------------
+        replay_gen = rng.stream("faults/replay/choice")
+        for at_us in _arrival_times("faults/replay", replay_rate_per_s):
+            kinds = ADVERSARY_KIND_GROUPS[
+                int(replay_gen.integers(0, len(ADVERSARY_KIND_GROUPS)))
+            ]
+            events.append(
+                StaleReplay(
+                    at_us=at_us,
+                    duration_us=replay_duration_us,
+                    count=replay_count,
+                    kinds=kinds,
+                )
+            )
+
+        # Corruption -> drop --------------------------------------------
+        for at_us in _arrival_times("faults/corrupt", corruption_rate_per_s):
+            events.append(
+                MsgCorruption(
+                    at_us=at_us,
+                    duration_us=corruption_duration_us,
+                    probability=corruption_probability,
+                )
+            )
+
+        # One-way partition ---------------------------------------------
+        # Draws that would overlap an earlier window on the same
+        # directed link are skipped (the plan validator rejects them),
+        # deterministically: arrival times are processed in sorted
+        # order, so the same draws always keep the same subset.
+        oneway_gen = rng.stream("faults/oneway/choice")
+        oneway_busy: dict = {}
+        for at_us in _arrival_times("faults/oneway", oneway_rate_per_s):
+            ap_id = ap_ids[int(oneway_gen.integers(0, len(ap_ids)))]
+            towards_ap = bool(oneway_gen.integers(0, 2))
+            src, dst = (
+                (controller_id, ap_id) if towards_ap else (ap_id, controller_id)
+            )
+            end_us = at_us + oneway_duration_us
+            busy = oneway_busy.setdefault((src, dst), [])
+            if any(at_us < e and s < end_us for s, e in busy):
+                continue
+            busy.append((at_us, end_us))
+            events.append(
+                OneWayPartition(
+                    at_us=at_us,
+                    duration_us=oneway_duration_us,
+                    src=src,
+                    dst=dst,
+                )
+            )
+
+        # Gray failure ---------------------------------------------------
+        gray_gen = rng.stream("faults/gray/choice")
+        for at_us in _arrival_times("faults/gray", gray_rate_per_s):
+            ap_id = ap_ids[int(gray_gen.integers(0, len(ap_ids)))]
+            events.append(
+                GrayFailure(
+                    at_us=at_us,
+                    duration_us=gray_duration_us,
+                    ap_id=ap_id,
+                    extra_latency_us=gray_extra_latency_us,
+                    loss_rate=gray_loss_rate,
+                )
+            )
+
         return cls(events=events)
 
     @classmethod
@@ -322,6 +634,7 @@ class FaultPlan:
         duration_us: int,
         *,
         intensity: float = 1.0,
+        adversary_intensity: float = 0.0,
         controller_id: str = "controller",
     ) -> "FaultPlan":
         """Continuous background chaos for endurance runs.
@@ -334,9 +647,16 @@ class FaultPlan:
         the array healthy at any instant.  Downtimes are short (AP
         2 s) so churned clients always have live cells to land on.
         Same determinism contract as :meth:`random`.
+
+        ``adversary_intensity`` (default 0 — existing soak plans are
+        unchanged to the byte) layers the message-level adversary on
+        top: duplication, stale replay, corruption, one-way partitions
+        and gray failures at ~1/30 s each per unit of intensity.
         """
         if intensity < 0:
             raise ValueError("intensity must be non-negative")
+        if adversary_intensity < 0:
+            raise ValueError("adversary_intensity must be non-negative")
         return cls.random(
             rng,
             ap_ids,
@@ -349,6 +669,11 @@ class FaultPlan:
             csi_blackout_rate_per_s=0.05 * intensity,
             csi_blackout_duration_us=1_000_000,
             controller_id=controller_id,
+            duplication_rate_per_s=0.033 * adversary_intensity,
+            replay_rate_per_s=0.033 * adversary_intensity,
+            corruption_rate_per_s=0.033 * adversary_intensity,
+            oneway_rate_per_s=0.033 * adversary_intensity,
+            gray_rate_per_s=0.033 * adversary_intensity,
         )
 
     # ------------------------------------------------------------------
@@ -363,6 +688,23 @@ class FaultPlan:
 
     def controller_crashes(self) -> List[ControllerCrash]:
         return [e for e in self.events if isinstance(e, ControllerCrash)]
+
+    def one_way_partitions(self) -> List[OneWayPartition]:
+        return [e for e in self.events if isinstance(e, OneWayPartition)]
+
+    def gray_failures(self) -> List[GrayFailure]:
+        return [e for e in self.events if isinstance(e, GrayFailure)]
+
+    def adversary_events(self) -> List[FaultEvent]:
+        """Every message-level adversary event in the plan."""
+        kinds = (
+            MsgDuplication,
+            StaleReplay,
+            MsgCorruption,
+            OneWayPartition,
+            GrayFailure,
+        )
+        return [e for e in self.events if isinstance(e, kinds)]
 
     def __len__(self) -> int:
         return len(self.events)
@@ -394,6 +736,32 @@ class FaultPlan:
                 )
             elif isinstance(e, ControllerRestart):
                 out.append(f"{e.at_us:>12d} ctrl-restart {e.controller_id}")
+            elif isinstance(e, MsgDuplication):
+                out.append(
+                    f"{e.at_us:>12d} dup [{_kinds_str(e.kinds)}] "
+                    f"p={e.probability} x{e.copies} for {e.duration_us}us"
+                )
+            elif isinstance(e, StaleReplay):
+                out.append(
+                    f"{e.at_us:>12d} replay [{_kinds_str(e.kinds)}] "
+                    f"<= {e.count} msgs after {e.duration_us}us"
+                )
+            elif isinstance(e, MsgCorruption):
+                out.append(
+                    f"{e.at_us:>12d} corrupt [{_kinds_str(e.kinds)}] "
+                    f"p={e.probability} for {e.duration_us}us"
+                )
+            elif isinstance(e, OneWayPartition):
+                out.append(
+                    f"{e.at_us:>12d} oneway {e.src}-x->{e.dst} "
+                    f"for {e.duration_us}us"
+                )
+            elif isinstance(e, GrayFailure):
+                out.append(
+                    f"{e.at_us:>12d} gray {e.ap_id} "
+                    f"+{e.extra_latency_us}us loss={e.loss_rate} "
+                    f"for {e.duration_us}us"
+                )
             else:
                 out.append(
                     f"{e.at_us:>12d} csi-blackout {e.ap_id} for {e.duration_us}us"

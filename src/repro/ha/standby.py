@@ -59,12 +59,17 @@ class StandbyController(WgttController):
         self.last_checkpoint: Optional[ControllerCheckpoint] = None
         #: client -> (received_at_us, ap): mirrored serving updates.
         self._warm_serving: Dict[str, Tuple[int, str]] = {}
+        #: client -> highest serving generation seen in the warm feed;
+        #: duplicated/replayed mirrors lose to it (same monotonic-
+        #: generation rule the APs apply).
+        self._warm_serving_gen: Dict[str, Tuple[int, int]] = {}
         self._primary_last_beat: Optional[int] = None
         self._primary_watch_timer = Timer(sim, self._primary_watch_tick)
         #: Fired right after promotion completes (HA cluster hook).
         self.on_promote = lambda: None
         self.stats["checkpoints_received"] = 0
         self.stats["promotions"] = 0
+        self.stats["stale_warm_updates"] = 0
 
     # ------------------------------------------------------------------
     # warm feed (pre-promotion) vs full dispatch (post-promotion)
@@ -86,7 +91,14 @@ class StandbyController(WgttController):
         if kind == "sta-sync":
             self.directory.admit(payload)
         elif kind == "serving-update":
-            client_id, ap_id = payload
+            client_id, ap_id, gen = payload
+            last = self._warm_serving_gen.get(client_id)
+            if last is not None and gen <= last:
+                # Duplicate or replayed mirror: the feed already holds
+                # a same-or-newer generation for this client.
+                self.stats["stale_warm_updates"] += 1
+                return
+            self._warm_serving_gen[client_id] = gen
             self._warm_serving[client_id] = (self._sim.now, ap_id)
 
     def _checkpoint_received(self, payload: object) -> None:
@@ -129,6 +141,11 @@ class StandbyController(WgttController):
         self.promoted = True
         self.role = "active"
         self.promoted_at_us = self._sim.now
+        # Promotion starts a new controller epoch: serving generations
+        # and the takeover announcement all carry it, so anything the
+        # dead primary published (or an adversary replays of it) loses.
+        self.epoch_us = self._sim.now
+        self._serving_seq = 0
         self.stats["promotions"] += 1
         self._primary_watch_timer.stop()
         tracer = self._sim.obs.trace
@@ -185,6 +202,7 @@ class StandbyController(WgttController):
                 ):
                     state.serving_ap = ap_id
         self._warm_serving.clear()
+        self._warm_serving_gen.clear()
         if restore_span is not None:
             tracer.end(restore_span, clients=len(self._clients))
 
@@ -203,7 +221,7 @@ class StandbyController(WgttController):
         )
         for ap_id in sorted(self._ap_ids):
             self._backhaul.send_control(
-                self.controller_id, ap_id, "ctrl-takeover", self.controller_id
+                self.controller_id, ap_id, "ctrl-takeover", self.epoch_us
             )
         for client_id in sorted(self._clients):
             self._publish_serving(

@@ -1,0 +1,27 @@
+"""Runtime protocol-invariant checking (``repro.invariants``).
+
+An :class:`InvariantChecker` attaches to a built testbed, consumes the
+observability trace stream, and probes protocol state on a fixed
+sim-time cadence, asserting the correctness claims the switching
+protocol is supposed to uphold under any message-level adversary:
+single serving AP, monotonic serving generations, terminating switch
+handshakes, no duplicate server delivery, a single active controller,
+bounded retry storms, and liveness-table agreement.
+
+See :mod:`repro.invariants.checker` for the invariant definitions and
+``docs/robustness.md`` for the operator-facing guide.
+"""
+
+from repro.invariants.checker import (
+    DEFAULT_INTERVAL_US,
+    DEFAULT_RECONVERGE_SLACK_US,
+    InvariantChecker,
+    InvariantViolation,
+)
+
+__all__ = [
+    "DEFAULT_INTERVAL_US",
+    "DEFAULT_RECONVERGE_SLACK_US",
+    "InvariantChecker",
+    "InvariantViolation",
+]

@@ -1,0 +1,526 @@
+"""Runtime protocol-invariant checker (paper §3 correctness claims).
+
+The checker watches one built testbed from the *outside*: it subscribes
+to the observability trace stream for the protocol events it needs and
+runs a periodic state probe over controller/AP structures.  It never
+mutates protocol state and never draws randomness, so an armed checker
+cannot change what a run does — only what the run can *prove*.
+
+Checked invariants
+------------------
+
+``single-serving-ap``
+    At any probe instant, at most one **alive** AP holds serving duty
+    for a client.  Clients mid-handshake (coordinator slot busy) are
+    exempt, as is any overlap the controller cannot yet observe or
+    repair: an involved AP that is declared dead, or separated from
+    the controller by a (possibly one-way) partition.  Overlap must
+    clear within a reconvergence slack once the excuse lifts.
+``monotonic-serving-gen``
+    Serving-update publications for a client carry strictly increasing
+    ``(epoch_us, seq)`` generations.  A regression means two controller
+    incarnations are publishing concurrently (split brain) or an epoch
+    went backwards.
+``switch-span-terminates``
+    Every switch/failover handshake leaves the pending table within the
+    retransmission schedule's worst-case envelope — it completes, is
+    aborted, or fails over; nothing hangs.  Ages are measured from the
+    later of the handshake start and the current controller epoch, so
+    an outage frozen by ``halt()`` is not charged to the handshake.
+``no-duplicate-delivery``
+    No datagram key is handed to the server twice within the dedup
+    window — the server-side :class:`~repro.core.dedup.PacketDeduplicator`
+    actually suppressed every adversary-injected copy.
+``single-active-controller``
+    At most one controller is alive in an active role ("primary" or
+    promoted "active") at any probe instant.
+``bounded-retry-storm``
+    No handshake retransmits more than ``switch_retry_limit`` times —
+    duplicated/replayed control traffic must not amplify into a storm.
+``liveness-agreement``
+    The controller's AP liveness verdict agrees with ground truth,
+    except while the AP is genuinely unreachable (partition, one-way
+    partition) and within the detection/recovery slack after a
+    transition.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.obs.metrics import metric_key
+from repro.sim.engine import Timer
+
+
+#: Default probe cadence: 20 probes per simulated second.
+DEFAULT_INTERVAL_US = 50_000
+
+#: How long an excused serving overlap may persist after the excuse
+#: lifts before it counts as a violation (serving-update propagation
+#: plus one probe period, with margin).
+DEFAULT_RECONVERGE_SLACK_US = 250_000
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One observed invariant breach, machine-readable."""
+
+    t_us: int
+    invariant: str
+    subject: str
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "t_us": self.t_us,
+            "invariant": self.invariant,
+            "subject": self.subject,
+            "message": self.message,
+        }
+
+
+class InvariantChecker:
+    """Trace-fed + probe-based runtime checker for one testbed.
+
+    Construct it against a built (WGTT-scheme) testbed, call
+    :meth:`start` before the run and :meth:`finish` after.  The
+    :class:`~repro.scenarios.testbed.Testbed` convenience
+    ``install_invariant_checker()`` does the wiring — including
+    registering :meth:`collect_metrics` with the metrics registry, so
+    violations surface in snapshots and soak telemetry.
+    """
+
+    INVARIANTS: Tuple[str, ...] = (
+        "bounded-retry-storm",
+        "liveness-agreement",
+        "monotonic-serving-gen",
+        "no-duplicate-delivery",
+        "single-active-controller",
+        "single-serving-ap",
+        "switch-span-terminates",
+    )
+
+    #: Trace event names the checker consumes.
+    TRACE_NAMES: Tuple[str, ...] = (
+        "serving-update",
+        "uplink-deliver",
+        "switch-retry",
+    )
+
+    def __init__(
+        self,
+        testbed,
+        *,
+        interval_us: int = DEFAULT_INTERVAL_US,
+        reconverge_slack_us: int = DEFAULT_RECONVERGE_SLACK_US,
+        max_violations: int = 256,
+    ):
+        if interval_us <= 0:
+            raise ValueError("interval_us must be positive")
+        self._testbed = testbed
+        self._sim = testbed.sim
+        self._interval_us = interval_us
+        self._reconverge_slack_us = reconverge_slack_us
+        self._max_violations = max_violations
+        self._timer = Timer(self._sim, self._probe_tick)
+        self.started = False
+        self.finished = False
+        #: Probe rounds completed.
+        self.checks = 0
+        #: All recorded violations (capped at ``max_violations``;
+        #: counters keep counting past the cap).
+        self.violations: List[InvariantViolation] = []
+        #: Per-invariant violation counts (every invariant present).
+        self.counts: Dict[str, int] = {name: 0 for name in self.INVARIANTS}
+        self._drained = 0
+
+        # -- trace-fed state ------------------------------------------
+        #: client -> highest serving generation observed on the stream.
+        self._serving_gen: Dict[str, Tuple[int, int]] = {}
+        #: Recently server-delivered dedup keys (mirrors the dedup
+        #: window's FIFO policy and capacity so bounded-memory eviction
+        #: in the protocol is never misread as duplicate delivery).
+        self._delivered: "OrderedDict[int, None]" = OrderedDict()
+        self._delivered_cap = self._dedup_capacity()
+
+        # -- probe episode state --------------------------------------
+        #: client -> first probe time an inexcusable overlap was seen.
+        self._overlap_since: Dict[str, int] = {}
+        #: ap -> first probe time an inexcusable disagreement was seen.
+        self._disagree_since: Dict[str, int] = {}
+        #: (invariant, subject) pairs already flagged for the current
+        #: episode — a persisting condition is reported once, not once
+        #: per probe.
+        self._flagged: Set[Tuple[str, str]] = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Subscribe to the trace stream and start probing."""
+        if self.started:
+            raise RuntimeError("InvariantChecker.start() called twice")
+        self.started = True
+        self._sim.obs.trace.subscribe(self._on_event, names=self.TRACE_NAMES)
+        self._timer.start(self._interval_us)
+
+    def finish(self) -> Dict[str, object]:
+        """Stop probing, run one final probe, return the report."""
+        if not self.finished:
+            self.finished = True
+            self._timer.stop()
+            self._probe()
+        return {
+            "checks": self.checks,
+            "ok": not self.violations,
+            "counts": dict(self.counts),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def drain_new(self) -> List[InvariantViolation]:
+        """Violations recorded since the previous drain (soak guard
+        integration: each sample converts fresh breaches to SLO
+        violations exactly once)."""
+        fresh = self.violations[self._drained:]
+        self._drained = len(self.violations)
+        return fresh
+
+    def total_violations(self) -> int:
+        return sum(self.counts.values())
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+
+    def collect_metrics(self) -> Dict[str, object]:
+        """Registry collector: deterministic, sorted, always-complete.
+
+        Every invariant exports a labelled count even at zero — a soak
+        fingerprint must not change shape the moment something breaks.
+        """
+        out: Dict[str, object] = {
+            "invariant_checks": self.checks,
+            "invariant_violations_total": self.total_violations(),
+        }
+        for name in sorted(self.counts):
+            out[metric_key("invariant_violations", invariant=name)] = (
+                self.counts[name]
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def _violate(self, invariant: str, subject: str, message: str) -> None:
+        self.counts[invariant] += 1
+        violation = InvariantViolation(
+            t_us=self._sim.now,
+            invariant=invariant,
+            subject=subject,
+            message=message,
+        )
+        if len(self.violations) < self._max_violations:
+            self.violations.append(violation)
+        tracer = self._sim.obs.trace
+        if tracer.active:
+            tracer.emit(
+                "invariants",
+                "invariant-violation",
+                track="invariants",
+                invariant=invariant,
+                subject=subject,
+                message=message,
+            )
+
+    def _violate_once(
+        self, invariant: str, subject: str, message: str
+    ) -> None:
+        """Flag a *persisting* condition once per episode."""
+        key = (invariant, subject)
+        if key in self._flagged:
+            return
+        self._flagged.add(key)
+        self._violate(invariant, subject, message)
+
+    def _clear_episode(self, invariant: str, subject: str) -> None:
+        self._flagged.discard((invariant, subject))
+
+    # ------------------------------------------------------------------
+    # trace-fed invariants
+    # ------------------------------------------------------------------
+
+    def _on_event(self, event) -> None:
+        name = event.name
+        if name == "serving-update":
+            self._check_serving_gen(event)
+        elif name == "uplink-deliver":
+            self._check_duplicate_delivery(event)
+        elif name == "switch-retry":
+            self._check_retry_storm(event)
+
+    def _check_serving_gen(self, event) -> None:
+        client = str(event.tags.get("client"))
+        gen = event.tags.get("gen")
+        if not isinstance(gen, tuple):
+            return  # pre-generation publisher (non-wgtt schemes)
+        last = self._serving_gen.get(client)
+        if last is not None and tuple(gen) <= last:
+            self._violate(
+                "monotonic-serving-gen",
+                client,
+                (
+                    f"serving-update generation {gen} for {client} does "
+                    f"not exceed previously published {last} — two "
+                    f"controller incarnations are publishing"
+                ),
+            )
+            return
+        self._serving_gen[client] = tuple(gen)
+
+    def _check_duplicate_delivery(self, event) -> None:
+        key = event.tags.get("key")
+        if key is None:
+            return
+        if event.tags.get("protocol") == "arp":
+            return  # headerless traffic legitimately bypasses dedup
+        key = int(key)
+        if key in self._delivered:
+            self._violate(
+                "no-duplicate-delivery",
+                str(event.tags.get("src")),
+                (
+                    f"datagram key {key:#x} (src={event.tags.get('src')} "
+                    f"ip_id={event.tags.get('ip_id')}) delivered to the "
+                    f"server twice — a duplicate escaped dedup"
+                ),
+            )
+            return
+        self._delivered[key] = None
+        if len(self._delivered) > self._delivered_cap:
+            self._delivered.popitem(last=False)
+
+    def _check_retry_storm(self, event) -> None:
+        retries = int(event.tags.get("retries", 0))
+        limit = self._wgtt_config().switch_retry_limit
+        if retries > limit:
+            client = str(event.tags.get("client"))
+            self._violate(
+                "bounded-retry-storm",
+                client,
+                (
+                    f"switch {event.tags.get('switch_id')} for {client} "
+                    f"retransmitted {retries} times, past the "
+                    f"{limit}-retry cap"
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # periodic state probes
+    # ------------------------------------------------------------------
+
+    def _probe_tick(self) -> None:
+        self._probe()
+        self._timer.start(self._interval_us)
+
+    def _probe(self) -> None:
+        self.checks += 1
+        active = self._active_controller()
+        self._probe_single_active_controller()
+        self._probe_single_serving(active)
+        if active is not None and active.alive:
+            self._probe_switch_spans(active)
+            self._probe_liveness_agreement(active)
+
+    def _probe_single_active_controller(self) -> None:
+        testbed = self._testbed
+        actives = [
+            c.controller_id
+            for c in (testbed.controller, testbed.standby)
+            if c is not None
+            and c.alive
+            and getattr(c, "role", "primary") in ("primary", "active")
+        ]
+        if len(actives) > 1:
+            self._violate_once(
+                "single-active-controller",
+                ",".join(sorted(actives)),
+                f"{len(actives)} controllers active at once: "
+                f"{sorted(actives)}",
+            )
+        else:
+            self._flagged = {
+                key
+                for key in self._flagged
+                if key[0] != "single-active-controller"
+            }
+
+    def _probe_single_serving(self, active) -> None:
+        testbed = self._testbed
+        now = self._sim.now
+        serving: Dict[str, List[str]] = {}
+        for ap_id in sorted(testbed.wgtt_aps):
+            ap = testbed.wgtt_aps[ap_id]
+            if not ap.alive:
+                continue
+            for client in ap._serving:
+                serving.setdefault(client, []).append(ap_id)
+        overlapping = set()
+        for client, holders in serving.items():
+            if len(holders) <= 1:
+                continue
+            if self._overlap_excused(active, client, holders):
+                continue
+            overlapping.add(client)
+            since = self._overlap_since.setdefault(client, now)
+            if now - since >= self._reconverge_slack_us:
+                self._violate_once(
+                    "single-serving-ap",
+                    client,
+                    (
+                        f"{client} held by {len(holders)} alive APs "
+                        f"({holders}) for {now - since}us with no "
+                        f"handshake in flight and no partition excuse"
+                    ),
+                )
+        for client in list(self._overlap_since):
+            if client not in overlapping:
+                del self._overlap_since[client]
+                self._clear_episode("single-serving-ap", client)
+
+    def _overlap_excused(
+        self, active, client: str, holders: List[str]
+    ) -> bool:
+        if active is None or not active.alive:
+            return True  # no authority exists to reconcile the overlap
+        if active.coordinator.busy(client):
+            return True  # mid-handshake: duty is legitimately moving
+        backhaul = self._testbed.backhaul
+        controller_id = active.controller_id
+        dead = active.dead_aps()
+        for ap_id in holders:
+            if ap_id in dead:
+                return True  # controller already quarantined this AP
+            if backhaul.unreachable(
+                controller_id, ap_id
+            ) or backhaul.unreachable(ap_id, controller_id):
+                return True  # repair traffic cannot reach it (yet)
+        return False
+
+    def _probe_switch_spans(self, active) -> None:
+        now = self._sim.now
+        bound = self._switch_age_bound_us()
+        coordinator = active.coordinator
+        live = set()
+        for client_id in sorted(coordinator._pending):
+            pending = coordinator._pending[client_id]
+            subject = f"{client_id}/{pending.switch_id}"
+            live.add(subject)
+            # Charge the handshake only for time under a live
+            # controller: halt() freezes retransmission clocks, and a
+            # restore resumes them at the new epoch.
+            started = max(pending.record.started_us, active.epoch_us)
+            age = now - started
+            if age > bound:
+                self._violate_once(
+                    "switch-span-terminates",
+                    subject,
+                    (
+                        f"switch {pending.switch_id} for {client_id} "
+                        f"pending {age}us, past the {bound}us "
+                        f"retransmission envelope"
+                    ),
+                )
+        self._flagged = {
+            key
+            for key in self._flagged
+            if key[0] != "switch-span-terminates" or key[1] in live
+        }
+
+    def _probe_liveness_agreement(self, active) -> None:
+        testbed = self._testbed
+        backhaul = testbed.backhaul
+        now = self._sim.now
+        slack = self._liveness_slack_us()
+        declared_dead = active.dead_aps()
+        controller_id = active.controller_id
+        disagreeing = set()
+        for ap_id in sorted(testbed.wgtt_aps):
+            ap = testbed.wgtt_aps[ap_id]
+            declared = ap_id in declared_dead
+            actual = not ap.alive
+            if declared == actual:
+                continue
+            if backhaul.unreachable(
+                ap_id, controller_id
+            ) or backhaul.unreachable(controller_id, ap_id):
+                # Genuinely unreachable: the verdict is the best any
+                # failure detector could do.  The episode clock resets
+                # so detection gets a full window after the heal.
+                self._disagree_since.pop(ap_id, None)
+                continue
+            disagreeing.add(ap_id)
+            since = self._disagree_since.setdefault(ap_id, now)
+            if now - since >= slack:
+                verdict = "dead" if declared else "alive"
+                truth = "dead" if actual else "alive"
+                self._violate_once(
+                    "liveness-agreement",
+                    ap_id,
+                    (
+                        f"controller says {ap_id} is {verdict} but it "
+                        f"is {truth}, and has been for {now - since}us "
+                        f"(> {slack}us detection slack) with the "
+                        f"backhaul reachable"
+                    ),
+                )
+        for ap_id in list(self._disagree_since):
+            if ap_id not in disagreeing:
+                del self._disagree_since[ap_id]
+                self._clear_episode("liveness-agreement", ap_id)
+
+    # ------------------------------------------------------------------
+    # derived bounds
+    # ------------------------------------------------------------------
+
+    def _active_controller(self):
+        return self._testbed.active_controller()
+
+    def _wgtt_config(self):
+        return self._testbed.config.wgtt
+
+    def _dedup_capacity(self) -> int:
+        controller = getattr(self._testbed, "controller", None)
+        if controller is not None and hasattr(controller, "dedup"):
+            return int(controller.dedup.capacity)
+        from repro.core.dedup import DEFAULT_CAPACITY
+
+        return DEFAULT_CAPACITY
+
+    def _switch_age_bound_us(self) -> int:
+        """Worst-case pending lifetime from the retransmission schedule.
+
+        The coordinator times out after ``switch_timeout_us`` with
+        bounded exponential backoff capped at ``switch_backoff_max_us``
+        and abandons after ``switch_retry_limit`` retries — summing the
+        per-round caps (every round bounded by the backoff cap) plus
+        two extra rounds of margin for in-flight backhaul latency and
+        probe quantisation.
+        """
+        cfg = self._wgtt_config()
+        per_round = max(cfg.switch_timeout_us, cfg.switch_backoff_max_us)
+        rounds = cfg.switch_retry_limit + 1
+        return per_round * (rounds + 2)
+
+    def _liveness_slack_us(self) -> int:
+        """Detection-lag allowance for the liveness table.
+
+        Death detection lags by up to ``(miss_limit + 1)`` heartbeat
+        periods; recovery by one period plus backhaul latency.  Allow
+        one extra period for probe quantisation.
+        """
+        cfg = self._wgtt_config()
+        return (cfg.heartbeat_miss_limit + 2) * cfg.heartbeat_interval_us

@@ -58,6 +58,17 @@ class BackhaulStats:
     #: Messages swallowed by injected faults (node down / partition),
     #: kept apart from the random-loss ``dropped`` counter.
     fault_dropped: int = 0
+    # -- adversary accounting (all zero unless an adversary is armed) --
+    #: Extra copies injected by :class:`~repro.faults.plan.MsgDuplication`.
+    duplicated: int = 0
+    #: Old messages re-delivered by a :class:`StaleReplay` window.
+    replayed: int = 0
+    #: Messages corrupted (checksum fail) and dropped, with accounting.
+    corrupt_dropped: int = 0
+    #: Messages swallowed by a one-way (directed) partition.
+    oneway_dropped: int = 0
+    #: Messages lost to a gray-failing node's degraded backhaul.
+    gray_dropped: int = 0
 
     def record(self, kind: str, size_bytes: int, control: bool) -> None:
         self.messages += 1
@@ -65,6 +76,52 @@ class BackhaulStats:
         if control:
             self.control_messages += 1
         self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+
+class _Adversary:
+    """Message-level adversary state, created lazily on first use.
+
+    Fault-free runs never instantiate this: the one
+    ``self._adversary is None`` load in :meth:`EthernetBackhaul.send`
+    is the whole cost, mirroring the ``_fault_blocked`` empty fast
+    path — which is what keeps adversary-off runs bit-identical.
+    """
+
+    __slots__ = (
+        "duplication",
+        "corruption",
+        "oneway",
+        "captures",
+        "degraded",
+        "next_handle",
+    )
+
+    def __init__(self) -> None:
+        #: handle -> (kinds|None, probability, copies, rng)
+        self.duplication: Dict[int, tuple] = {}
+        #: handle -> (kinds|None, probability, rng)
+        self.corruption: Dict[int, tuple] = {}
+        #: handle -> (src, dst): directed drop.
+        self.oneway: Dict[int, Tuple[str, str]] = {}
+        #: handle -> (kinds|None, cap, buffer) for stale replay.
+        self.captures: Dict[int, tuple] = {}
+        #: node_id -> (extra_latency_us, loss_rate, rng): gray failure.
+        self.degraded: Dict[str, tuple] = {}
+        self.next_handle = 1
+
+    def empty(self) -> bool:
+        return not (
+            self.duplication
+            or self.corruption
+            or self.oneway
+            or self.captures
+            or self.degraded
+        )
+
+    def handle(self) -> int:
+        value = self.next_handle
+        self.next_handle += 1
+        return value
 
 
 class EthernetBackhaul:
@@ -120,6 +177,15 @@ class EthernetBackhaul:
         self._link_jitter: Dict[
             Tuple[str, str], Tuple[int, np.random.Generator]
         ] = {}
+        #: Message-level adversary (duplication / replay / corruption /
+        #: one-way partitions / gray failure).  ``None`` until the
+        #: first adversary window opens; dropped back to ``None`` when
+        #: the last one closes, so idle runs pay one attribute load.
+        self._adversary: Optional[_Adversary] = None
+        #: Latched True the first time an adversary window is armed —
+        #: metric collectors key on this so adversary counters only
+        #: appear in runs that actually used the adversary.
+        self.adversary_armed = False
 
     def register(self, node_id: str, handler: Callable[[str, str, object], None]):
         """Attach a node to the LAN."""
@@ -197,6 +263,181 @@ class EthernetBackhaul:
         else:
             self._link_jitter.pop((src_id, dst_id), None)
 
+    # ------------------------------------------------------------------
+    # message-level adversary (duplication / replay / corruption /
+    # one-way partition / gray failure)
+    # ------------------------------------------------------------------
+
+    def _ensure_adversary(self) -> _Adversary:
+        if self._adversary is None:
+            self._adversary = _Adversary()
+            self.adversary_armed = True
+        return self._adversary
+
+    def _maybe_drop_adversary(self) -> None:
+        if self._adversary is not None and self._adversary.empty():
+            self._adversary = None
+
+    def set_duplication(
+        self,
+        kinds: Optional[FrozenSet[str]],
+        probability: float,
+        copies: int,
+        rng: np.random.Generator,
+    ) -> int:
+        """Duplicate matching messages (prob. per message, ``copies``
+        extra deliveries each).  Returns a handle for clearing."""
+        if not 0.0 < probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        if copies <= 0:
+            raise ValueError("copies must be positive")
+        adversary = self._ensure_adversary()
+        handle = adversary.handle()
+        adversary.duplication[handle] = (kinds, probability, copies, rng)
+        return handle
+
+    def clear_duplication(self, handle: int) -> None:
+        if self._adversary is not None:
+            self._adversary.duplication.pop(handle, None)
+            self._maybe_drop_adversary()
+
+    def set_corruption(
+        self,
+        kinds: Optional[FrozenSet[str]],
+        probability: float,
+        rng: np.random.Generator,
+    ) -> int:
+        """Corrupt matching messages with ``probability``; corrupted
+        messages fail their checksum and are dropped with accounting."""
+        if not 0.0 < probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        adversary = self._ensure_adversary()
+        handle = adversary.handle()
+        adversary.corruption[handle] = (kinds, probability, rng)
+        return handle
+
+    def clear_corruption(self, handle: int) -> None:
+        if self._adversary is not None:
+            self._adversary.corruption.pop(handle, None)
+            self._maybe_drop_adversary()
+
+    def partition_oneway(self, src_id: str, dst_id: str) -> int:
+        """Drop everything on the *directed* link ``src -> dst`` while
+        the reverse direction keeps flowing."""
+        if src_id == dst_id:
+            raise ValueError("src and dst must differ")
+        adversary = self._ensure_adversary()
+        handle = adversary.handle()
+        adversary.oneway[handle] = (src_id, dst_id)
+        return handle
+
+    def heal_oneway(self, handle: int) -> None:
+        if self._adversary is not None:
+            self._adversary.oneway.pop(handle, None)
+            self._maybe_drop_adversary()
+
+    def oneway_blocked(self, src_id: str, dst_id: str) -> bool:
+        """True when a one-way partition drops ``src -> dst`` traffic."""
+        adversary = self._adversary
+        if adversary is None or not adversary.oneway:
+            return False
+        return any(
+            src == src_id and dst == dst_id
+            for src, dst in adversary.oneway.values()
+        )
+
+    def start_replay_capture(
+        self, kinds: Optional[FrozenSet[str]], count: int
+    ) -> int:
+        """Start recording matching *delivered* messages (up to
+        ``count``) for later re-delivery via :meth:`replay_captured`."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        adversary = self._ensure_adversary()
+        handle = adversary.handle()
+        adversary.captures[handle] = (kinds, int(count), [])
+        return handle
+
+    def replay_captured(self, handle: int) -> int:
+        """Close a capture window and re-deliver everything it recorded
+        (in capture order, after the normal path latency).  Replays are
+        adversary deliveries: they skip loss, jitter, capture and
+        duplication processing, but still respect crashed nodes and
+        partitions.  Returns how many messages were re-injected."""
+        if self._adversary is None:
+            return 0
+        entry = self._adversary.captures.pop(handle, None)
+        self._maybe_drop_adversary()
+        if entry is None:
+            return 0
+        _kinds, _cap, buffer = entry
+        tracer = self._sim.obs.trace
+        replayed = 0
+        for offset, record in enumerate(buffer):
+            src_id, dst_id, kind, payload, size_bytes, control = record
+            if self._fault_blocked(src_id, dst_id) or self.oneway_blocked(
+                src_id, dst_id
+            ):
+                continue
+            handler = self._handlers.get(dst_id)
+            if handler is None:
+                continue
+            self.stats.replayed += 1
+            replayed += 1
+            if tracer.active:
+                tracer.emit(
+                    "backhaul",
+                    "replay-tx",
+                    track=f"port/{src_id}",
+                    detail=kind in _DETAIL_KINDS,
+                    src=src_id,
+                    dst=dst_id,
+                    msg=kind,
+                )
+            delay = (
+                self.control_latency_us if control else self.latency_us
+            ) + offset
+            self._sim.schedule(
+                delay,
+                lambda h=handler, s=src_id, k=kind, p=payload: h(s, k, p),
+            )
+        return replayed
+
+    def set_node_degraded(
+        self,
+        node_id: str,
+        extra_latency_us: int,
+        loss_rate: float,
+        rng: np.random.Generator,
+    ) -> None:
+        """Gray-fail a node: non-reliable messages to or from it pick
+        up ``extra_latency_us`` and an extra Bernoulli ``loss_rate``,
+        while heartbeats (the reliable class) keep flowing — the
+        liveness table stays green while service rots."""
+        if extra_latency_us < 0:
+            raise ValueError("extra_latency_us must be non-negative")
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError("loss_rate must be in [0, 1]")
+        adversary = self._ensure_adversary()
+        adversary.degraded[node_id] = (int(extra_latency_us), loss_rate, rng)
+
+    def clear_node_degraded(self, node_id: str) -> None:
+        if self._adversary is not None:
+            self._adversary.degraded.pop(node_id, None)
+            self._maybe_drop_adversary()
+
+    def is_node_degraded(self, node_id: str) -> bool:
+        adversary = self._adversary
+        return adversary is not None and node_id in adversary.degraded
+
+    def unreachable(self, src_id: str, dst_id: str) -> bool:
+        """True when *anything* currently blocks ``src -> dst``: a dark
+        endpoint, a symmetric partition, or a one-way partition.  The
+        invariant checker uses this to excuse liveness-table lag."""
+        return self._fault_blocked(src_id, dst_id) or self.oneway_blocked(
+            src_id, dst_id
+        )
+
     def _fault_blocked(self, src_id: str, dst_id: str) -> bool:
         if not self._down_nodes and not self._partitions:
             return False  # fault-free fast path
@@ -252,6 +493,59 @@ class EthernetBackhaul:
                     msg=kind,
                 )
             return
+        adversary = self._adversary
+        gray_extra_us = 0
+        if adversary is not None:
+            if adversary.oneway and self.oneway_blocked(src_id, dst_id):
+                self.stats.oneway_dropped += 1
+                if tracer.active:
+                    tracer.emit(
+                        "backhaul",
+                        "oneway-drop",
+                        track=f"port/{src_id}",
+                        detail=kind in _DETAIL_KINDS,
+                        src=src_id,
+                        dst=dst_id,
+                        msg=kind,
+                    )
+                return
+            if adversary.degraded and kind not in RELIABLE_KINDS:
+                entry = adversary.degraded.get(src_id)
+                if entry is None:
+                    entry = adversary.degraded.get(dst_id)
+                if entry is not None:
+                    extra_us, gray_loss, gray_rng = entry
+                    if gray_loss > 0.0 and gray_rng.random() < gray_loss:
+                        self.stats.gray_dropped += 1
+                        if tracer.active:
+                            tracer.emit(
+                                "backhaul",
+                                "gray-drop",
+                                track=f"port/{src_id}",
+                                detail=kind in _DETAIL_KINDS,
+                                src=src_id,
+                                dst=dst_id,
+                                msg=kind,
+                            )
+                        return
+                    gray_extra_us = extra_us
+            if adversary.corruption:
+                for c_kinds, c_prob, c_rng in adversary.corruption.values():
+                    if c_kinds is not None and kind not in c_kinds:
+                        continue
+                    if c_rng.random() < c_prob:
+                        self.stats.corrupt_dropped += 1
+                        if tracer.active:
+                            tracer.emit(
+                                "backhaul",
+                                "corrupt-drop",
+                                track=f"port/{src_id}",
+                                detail=kind in _DETAIL_KINDS,
+                                src=src_id,
+                                dst=dst_id,
+                                msg=kind,
+                            )
+                        return
         # Liveness and HA traffic rides a reliable transport in a real
         # deployment (the paper's sta-sync uses per-peer TCP); exempting
         # those kinds from the scalar Bernoulli loss knob also keeps the
@@ -285,7 +579,45 @@ class EthernetBackhaul:
             max_us, rng = jitter
             if max_us > 0:
                 delay += int(rng.integers(0, max_us + 1))
+        delay += gray_extra_us
         handler = self._handlers[dst_id]
+        if adversary is not None:
+            if adversary.captures:
+                for r_kinds, r_cap, r_buffer in adversary.captures.values():
+                    if r_kinds is not None and kind not in r_kinds:
+                        continue
+                    if len(r_buffer) < r_cap:
+                        r_buffer.append(
+                            (src_id, dst_id, kind, payload, size_bytes, control)
+                        )
+            if adversary.duplication:
+                for entry in adversary.duplication.values():
+                    d_kinds, d_prob, d_copies, d_rng = entry
+                    if d_kinds is not None and kind not in d_kinds:
+                        continue
+                    if d_rng.random() >= d_prob:
+                        continue
+                    for _ in range(d_copies):
+                        self.stats.duplicated += 1
+                        if tracer.active:
+                            tracer.emit(
+                                "backhaul",
+                                "dup-tx",
+                                track=f"port/{src_id}",
+                                detail=kind in _DETAIL_KINDS,
+                                src=src_id,
+                                dst=dst_id,
+                                msg=kind,
+                            )
+                        # Copies land shortly after the original with a
+                        # varying skew, so they interleave with other
+                        # in-flight traffic instead of arriving as a
+                        # harmless back-to-back pair.
+                        dup_delay = delay + 1 + int(d_rng.integers(0, 64))
+                        self._sim.schedule(
+                            dup_delay,
+                            lambda h=handler: h(src_id, kind, payload),
+                        )
         self._sim.schedule(delay, lambda: handler(src_id, kind, payload))
 
     def send_control(

@@ -282,6 +282,9 @@ class Testbed:
                 self._associate_instantly(client)
 
         self.fault_injector: Optional[FaultInjector] = None
+        #: Installed by :meth:`install_invariant_checker`; None keeps
+        #: the trace stream dormant and the run byte-identical.
+        self.invariant_checker = None
         if config.fault_plan is not None:
             self.install_fault_plan(config.fault_plan)
 
@@ -427,6 +430,15 @@ class Testbed:
         }
         for kind, count in stats.by_kind.items():
             out[metric_key("backhaul_messages_by_kind", kind=kind)] = count
+        if self.backhaul.adversary_armed:
+            # Conditional keys: the armed latch only flips once an
+            # adversary event executes, so adversary-free runs keep
+            # the exact pre-adversary metric key set (fingerprints).
+            out["backhaul_adversary_duplicated"] = stats.duplicated
+            out["backhaul_adversary_replayed"] = stats.replayed
+            out["backhaul_adversary_corrupt_dropped"] = stats.corrupt_dropped
+            out["backhaul_adversary_oneway_dropped"] = stats.oneway_dropped
+            out["backhaul_adversary_gray_dropped"] = stats.gray_dropped
         return out
 
     def _collect_medium_metrics(self) -> Dict[str, object]:
@@ -460,11 +472,32 @@ class Testbed:
             )
         return out
 
+    #: Stats keys that only move under an adversarial schedule (or an
+    #: extreme reordering no stock run produces).  They are exported
+    #: only once nonzero, so the metrics snapshot — and therefore every
+    #: soak fingerprint — of an adversary-free run is byte-identical to
+    #: what it was before the hardening counters existed.
+    _LAZY_STATS = frozenset(
+        {
+            "stale_sta_syncs",
+            "stale_serving_claims",
+            "stale_stops",
+            "stale_starts",
+            "stale_failovers",
+            "stale_takeovers",
+            "stale_ctrl_hellos",
+            "stale_serving_updates",
+            "stale_warm_updates",
+            "serving_relinquished",
+        }
+    )
+
     def _collect_controller_metrics(self) -> Dict[str, object]:
         controller = self.controller
         out: Dict[str, object] = {
             metric_key("controller_stat", name=name): value
             for name, value in controller.stats.items()
+            if value or name not in self._LAZY_STATS
         }
         out["dedup_accepted"] = controller.dedup.accepted
         out["dedup_duplicates"] = controller.dedup.duplicates
@@ -489,12 +522,20 @@ class Testbed:
             out["admission_clients"] = controller._pacer.tracked_clients()
         if self.fault_injector is not None:
             out["faults_executed"] = len(self.fault_injector.events)
+            if self.fault_injector.gray_windows:
+                out["faults_gray_windows"] = self.fault_injector.gray_windows
+        if self.backhaul.adversary_armed:
+            # stale_acks moves on ordinary retransmissions too, so it
+            # must not surface (new key!) in adversary-free snapshots.
+            out["switches_stale_acks"] = controller.coordinator.stale_acks
         return out
 
     def _collect_ap_metrics(self) -> Dict[str, object]:
         out: Dict[str, object] = {}
         for ap_id, ap in self.wgtt_aps.items():
             for name, value in ap.stats.items():
+                if not value and name in self._LAZY_STATS:
+                    continue
                 out[metric_key("ap_stat", ap=ap_id, name=name)] = value
             queues = ap._cyclic.values()
             out[metric_key("ap_overflow_drops", ap=ap_id)] = sum(
@@ -575,6 +616,27 @@ class Testbed:
         self.fault_injector = FaultInjector(self, plan)
         self.fault_injector.arm()
         return self.fault_injector
+
+    def install_invariant_checker(self, **kwargs):
+        """Arm the runtime protocol-invariant checker (WGTT only).
+
+        Subscribing flips the tracer's ``active`` flag, so guarded
+        emit sites start producing — protocol behaviour is unchanged
+        (emission draws no randomness), but runs are no longer
+        trace-dormant.  Keyword arguments forward to
+        :class:`~repro.invariants.InvariantChecker`.
+        """
+        if self.config.scheme != "wgtt":
+            raise ValueError("the invariant checker targets the WGTT scheme")
+        if self.invariant_checker is not None:
+            raise RuntimeError("invariant checker already installed")
+        from repro.invariants import InvariantChecker
+
+        checker = InvariantChecker(self, **kwargs)
+        checker.start()
+        self.obs.metrics.register_collector(checker.collect_metrics)
+        self.invariant_checker = checker
+        return checker
 
     def crash_ap(self, ap_id: str) -> None:
         """Immediately crash one AP (manual chaos helper)."""
@@ -691,6 +753,20 @@ class Testbed:
     def _deliver_uplink(self, packet: Packet) -> None:
         if packet.meta.get("keepalive"):
             return  # NULL frames carry no payload for the server
+        tracer = self.sim.obs.trace
+        if tracer.active:
+            # Post-dedup server ingress: the invariant checker audits
+            # this stream for duplicate keys that escaped suppression.
+            tracer.emit(
+                "testbed",
+                "uplink-deliver",
+                track="server",
+                detail=True,
+                key=packet.dedup_key(),
+                src=packet.src,
+                ip_id=packet.ip_id,
+                protocol=packet.protocol,
+            )
         self.sim.schedule(
             self.config.wgtt.server_latency_us,
             lambda: self.server_host.deliver(packet),

@@ -39,6 +39,15 @@ class SoakConfig:
     #: Continuous-chaos intensity (see :meth:`FaultPlan.soak`); 0
     #: disables fault injection entirely.
     fault_intensity: float = 1.0
+    #: Message-level adversary intensity layered on top of the chaos
+    #: plan (duplication/replay/corruption/one-way/gray windows); 0
+    #: keeps soak plans byte-identical to the pre-adversary baseline.
+    adversary_intensity: float = 0.0
+    #: Arm the runtime protocol-invariant checker; breaches surface as
+    #: ``kind="invariant"`` SLO violations.  Off by default: the
+    #: subscription wakes the trace stream, so checked runs are not
+    #: fingerprint-comparable with unchecked ones.
+    invariants_enabled: bool = False
     #: Build the controller with per-client fair pacing enabled.
     admission_enabled: bool = False
     #: Enable the serving-AP watermark backpressure signal (the soak
@@ -127,15 +136,21 @@ class SoakHarness:
             cfg.workload,
         )
         fault_plan: Optional[FaultPlan] = None
-        if cfg.fault_intensity > 0:
+        if cfg.fault_intensity > 0 or cfg.adversary_intensity > 0:
             fault_plan = FaultPlan.soak(
                 RngRegistry(cfg.seed).spawn("soak-faults"),
                 [f"ap{i}" for i in range(cfg.num_aps)],
                 cfg.duration_us,
                 intensity=cfg.fault_intensity,
+                adversary_intensity=cfg.adversary_intensity,
             )
         testbed_config.fault_plan = fault_plan
         testbed = Testbed(testbed_config)
+        checker = (
+            testbed.install_invariant_checker()
+            if cfg.invariants_enabled
+            else None
+        )
 
         churn = ChurnDriver(testbed, plan)
         testbed.obs.metrics.register_collector(churn.collect_metrics)
@@ -154,6 +169,7 @@ class SoakHarness:
             budgets=budgets,
             stream=stream,
             fail_fast=cfg.fail_fast,
+            invariants=checker,
         )
         guard.start()
 

@@ -37,6 +37,7 @@ from repro.obs.metrics import MetricsStream
 from repro.sim.engine import SECOND, Timer
 
 if TYPE_CHECKING:
+    from repro.invariants import InvariantChecker
     from repro.scenarios.testbed import Testbed
     from repro.soak.churn import ChurnDriver
 
@@ -46,7 +47,7 @@ class SloViolation:
     """One guard assertion failure, machine-readable."""
 
     t_us: int
-    kind: str  # "bounded-memory" | "plateau" | "budget"
+    kind: str  # "bounded-memory" | "plateau" | "budget" | "invariant"
     probe: str
     value: float
     limit: float
@@ -109,11 +110,16 @@ class SloGuard:
         budgets: Optional[SloBudgets] = None,
         stream: Optional[MetricsStream] = None,
         fail_fast: bool = False,
+        invariants: Optional["InvariantChecker"] = None,
     ):
         if interval_us <= 0:
             raise ValueError("interval_us must be positive")
         self._testbed = testbed
         self._churn = churn
+        #: Optional runtime protocol-invariant checker; when present,
+        #: its breaches surface as ``kind="invariant"`` violations on
+        #: the sample cadence (and at :meth:`finish`).
+        self._invariants = invariants
         self._interval_us = interval_us
         self._checkpoint_every = max(1, checkpoint_every)
         self.budgets = budgets if budgets is not None else SloBudgets()
@@ -253,6 +259,7 @@ class SloGuard:
                         ),
                     )
                 )
+        fresh.extend(self._drain_invariants())
         if self.samples % self._checkpoint_every == 0:
             payload = json.dumps(
                 {"t_us": sim.now, "metrics": snapshot, "probes": probes},
@@ -279,6 +286,22 @@ class SloGuard:
                 )
         if self._fail_fast:
             raise SoakViolationError(fresh)
+
+    def _drain_invariants(self) -> List[SloViolation]:
+        """Convert the checker's fresh breaches to SLO violations."""
+        if self._invariants is None:
+            return []
+        return [
+            SloViolation(
+                t_us=breach.t_us,
+                kind="invariant",
+                probe=breach.invariant,
+                value=1.0,
+                limit=0.0,
+                message=breach.message,
+            )
+            for breach in self._invariants.drain_new()
+        ]
 
     # ------------------------------------------------------------------
     # end of run
@@ -379,6 +402,9 @@ class SloGuard:
             raise RuntimeError("guard already finished")
         self._finished = True
         self.stop()
+        if self._invariants is not None:
+            self._invariants.finish()  # one last probe before draining
+            self._record(self._drain_invariants())
         self._record(self._check_plateau())
         self._record(self._check_budgets())
         report: Dict[str, object] = {

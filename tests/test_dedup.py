@@ -50,6 +50,117 @@ class TestPacketDeduplicator:
             PacketDeduplicator(capacity=0)
 
 
+class TestPacketDeduplicatorProperties:
+    """Randomized model-checking of the bounded-FIFO window.
+
+    A tiny reference model (an ordered key set with FIFO eviction)
+    predicts every accept/reject; the real deduplicator must agree on
+    arbitrary interleavings of fresh keys, in-window duplicates, and
+    post-eviction re-appearances.
+    """
+
+    def _model_accept(self, model, key, capacity):
+        if key in model:
+            return False
+        model[key] = None
+        if len(model) > capacity:
+            model.pop(next(iter(model)))
+        return True
+
+    def test_matches_fifo_model_on_random_streams(self):
+        import random
+
+        for seed in range(8):
+            rng = random.Random(seed)
+            capacity = rng.choice([1, 2, 7, 32])
+            dedup = PacketDeduplicator(capacity=capacity)
+            model = {}
+            for _ in range(600):
+                src = f"client{rng.randrange(3)}"
+                ip_id = rng.randrange(capacity * 3)
+                packet = pkt(src=src, ip_id=ip_id)
+                expected = self._model_accept(
+                    model, packet.dedup_key(), capacity
+                )
+                assert dedup.accept(packet) is expected
+                # The window is bounded at every step, not just at the end.
+                assert dedup.window_size() <= capacity
+            assert dedup.accepted + dedup.duplicates == 600
+
+    def test_eviction_never_readmits_within_window(self):
+        """While a key remains in the FIFO window it is rejected on
+        every re-presentation — duplicates never refresh recency."""
+        import random
+
+        rng = random.Random(99)
+        capacity = 16
+        dedup = PacketDeduplicator(capacity=capacity)
+        for i in range(capacity):
+            assert dedup.accept(pkt(ip_id=i))
+        # Hammer in-window keys in random order: all rejected, and the
+        # window contents never change (no LRU-style refresh).
+        for _ in range(200):
+            ip_id = rng.randrange(capacity)
+            assert not dedup.accept(pkt(ip_id=ip_id))
+        # One fresh key evicts exactly the oldest (ip_id 0), nothing else.
+        assert dedup.accept(pkt(ip_id=capacity))
+        assert dedup.accept(pkt(ip_id=0))  # evicted: passes again
+        # Each insertion evicts exactly the current oldest, so the
+        # forgotten keys cascade from the old end (1, then 2, ...)
+        # while young keys and fresh re-admissions stay rejected.
+        assert dedup.accept(pkt(ip_id=1))  # 0's re-admission evicted it
+        assert not dedup.accept(pkt(ip_id=capacity - 1))  # young: in-window
+        assert not dedup.accept(pkt(ip_id=0))  # just re-admitted: rejected
+
+    def test_snapshot_restore_roundtrips_random_states(self):
+        import random
+
+        for seed in range(6):
+            rng = random.Random(1000 + seed)
+            capacity = rng.choice([4, 16, 64])
+            dedup = PacketDeduplicator(capacity=capacity)
+            for _ in range(rng.randrange(1, 150)):
+                dedup.accept(
+                    pkt(
+                        src=f"client{rng.randrange(4)}",
+                        ip_id=rng.randrange(64),
+                    )
+                )
+            state = dedup.snapshot()
+            clone = PacketDeduplicator()
+            clone.restore(state)
+            # Identical externally visible state...
+            assert clone.snapshot() == state
+            assert clone.window_size() == dedup.window_size()
+            assert clone.duplicate_ratio() == dedup.duplicate_ratio()
+            # ...and identical future behaviour, including eviction order.
+            for _ in range(100):
+                probe = pkt(
+                    src=f"client{rng.randrange(4)}",
+                    ip_id=rng.randrange(64),
+                )
+                clone_copy = pkt(src=probe.src, ip_id=probe.ip_id)
+                assert dedup.accept(probe) is clone.accept(clone_copy)
+            assert dedup.snapshot() == clone.snapshot()
+
+    def test_duplicate_ratio_at_eviction_boundary(self):
+        """Ratio accounting stays exact when a duplicate's key was
+        already FIFO-evicted: the copy counts as *accepted* (the window
+        genuinely forgot it), not as a duplicate."""
+        capacity = 4
+        dedup = PacketDeduplicator(capacity=capacity)
+        for i in range(capacity):
+            dedup.accept(pkt(ip_id=i))
+        assert not dedup.accept(pkt(ip_id=0))  # in-window duplicate
+        assert dedup.accept(pkt(ip_id=capacity))  # evicts ip_id 0
+        assert dedup.accept(pkt(ip_id=0))  # forgotten: re-accepted
+        assert dedup.accepted == capacity + 2
+        assert dedup.duplicates == 1
+        assert abs(
+            dedup.duplicate_ratio() - 1 / (capacity + 3)
+        ) < 1e-12
+
+
 class TestBaSeenCache:
     def ba(self, start=0, acked=(1, 2), heard_by="ap2", at=0):
         return ForwardedBa(

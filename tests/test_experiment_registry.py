@@ -14,6 +14,7 @@ from repro.experiments.registry import (
 
 EXPECTED_IDS = {
     "ablations",
+    "ext_adversary",
     "ext_density",
     "ext_faults",
     "ext_ha",

@@ -284,3 +284,97 @@ def test_failover_retries_failover_not_stop():
     record = coordinator.history[0]
     assert record.outcome == OUTCOME_FAILED_OVER
     assert record.retries == 1
+
+
+# ----------------------------------------------------------------------
+# adversary hardening: acks must be idempotent in every ordering
+# ----------------------------------------------------------------------
+
+
+def test_duplicate_ack_after_completion_is_noop():
+    """Ordering 1: complete first, duplicate second.
+
+    A duplicated ack arriving after its handshake completed must not
+    mutate the finished record, reopen the slot, or grow history — it
+    only bumps the stale_acks counter.
+    """
+    sim, coordinator, _, _ = make_coordinator()
+    coordinator.initiate("client0", "ap1", "ap2")
+    sim.run()
+    assert len(coordinator.history) == 1
+    record = coordinator.history[0]
+    completed_us = record.completed_us
+    switch_id = coordinator._next_switch_id - 1
+
+    duplicate = AckMsg(client="client0", ap="ap2", switch_id=switch_id)
+    coordinator.on_ack(duplicate)
+    coordinator.on_ack(duplicate)  # and again: still a no-op
+
+    assert coordinator.stale_acks == 2
+    assert len(coordinator.history) == 1
+    assert record.completed_us == completed_us  # never mutated twice
+    assert record.outcome == OUTCOME_COMPLETED
+    assert not coordinator.busy("client0")
+
+
+def test_ack_after_abort_is_noop():
+    """Ordering 2: abort first, late ack second.
+
+    The ack for a switch aborted meanwhile (e.g. failover stole the
+    slot) must not resurrect the aborted record or complete a
+    handshake that no longer exists.
+    """
+    sim, coordinator, _, _ = make_coordinator(drop_stops=100)
+    coordinator.initiate("client0", "ap1", "ap2")
+    switch_id = coordinator._next_switch_id - 1
+    aborted = coordinator.abort("client0", reason="failover needs the slot")
+    assert aborted.outcome == OUTCOME_ABORTED
+
+    late = AckMsg(client="client0", ap="ap2", switch_id=switch_id)
+    coordinator.on_ack(late)
+
+    assert coordinator.stale_acks == 1
+    assert not coordinator.busy("client0")
+    assert len(coordinator.history) == 1
+    assert coordinator.history[0].outcome == OUTCOME_ABORTED
+    assert coordinator.history[0].completed_us is None
+
+    # The slot is genuinely reusable after the late ack.
+    coordinator.initiate("client0", "ap1", "ap2")
+    assert coordinator.busy("client0")
+
+
+def test_superseded_round_ack_does_not_complete_new_round():
+    """An ack carrying an older switch_id than the pending round is
+    stale: the live handshake keeps waiting for its own ack."""
+    sim, coordinator, _, _ = make_coordinator(drop_stops=100)
+    coordinator.initiate("client0", "ap1", "ap2")
+    first_id = coordinator._next_switch_id - 1
+    coordinator.abort("client0", reason="superseded")
+    coordinator.initiate("client0", "ap1", "ap3")
+
+    old_ack = AckMsg(client="client0", ap="ap2", switch_id=first_id)
+    coordinator.on_ack(old_ack)
+
+    assert coordinator.stale_acks == 1
+    assert coordinator.busy("client0")  # the new round is untouched
+    assert coordinator.pending_record("client0").to_ap == "ap3"
+
+
+def test_stale_acks_survive_restore_but_not_checkpoint_bytes():
+    """The counter is durable observability, not protocol state: a
+    snapshot/restore round-trip preserves the in-memory value while
+    the snapshot itself carries no stale_acks key (checkpoint bytes
+    ride the backhaul and must not grow under ordinary retransmission
+    races)."""
+    sim, coordinator, _, _ = make_coordinator()
+    coordinator.initiate("client0", "ap1", "ap2")
+    sim.run()
+    switch_id = coordinator._next_switch_id - 1
+    coordinator.on_ack(AckMsg(client="client0", ap="ap2", switch_id=switch_id))
+    assert coordinator.stale_acks == 1
+
+    state = coordinator.snapshot()
+    assert "stale_acks" not in state
+    coordinator.restore(state)
+    assert coordinator.stale_acks == 1
