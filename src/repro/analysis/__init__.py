@@ -1,0 +1,33 @@
+"""Repo-specific static analysis (``python -m repro.analysis``).
+
+An AST-based lint engine (stdlib only) whose passes encode this
+reproduction's *actual* invariants instead of generic style:
+
+* :mod:`~repro.analysis.passes.determinism` — seed discipline, wall-
+  clock bans, sorted iteration on export paths (DET001–DET005);
+* :mod:`~repro.analysis.passes.flags` — feature-flag defaults vs the
+  committed ``analysis/flags.toml`` manifest (CFG001–CFG003);
+* :mod:`~repro.analysis.passes.tracekinds` — trace emit sites vs the
+  ``repro.obs.schema`` catalog, both directions (TRC001–TRC003);
+* :mod:`~repro.analysis.passes.checkpoint` — controller volatile state
+  vs ``repro.ha.checkpoint`` coverage (CKP001–CKP003);
+* :mod:`~repro.analysis.passes.metricnames` — canonical metric keys,
+  one instrument type per name (MET001–MET002).
+
+Deliberate exceptions are inline, explained, and audited:
+``# noqa-repro: RULE — reason`` (SUP001 fires on a missing reason,
+SUP002 on a suppression nothing needs).  See docs/static-analysis.md.
+"""
+
+from repro.analysis.engine import AnalysisPass, run_passes
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import Project, load_project
+
+__all__ = [
+    "AnalysisPass",
+    "Finding",
+    "Project",
+    "Severity",
+    "load_project",
+    "run_passes",
+]

@@ -1,0 +1,155 @@
+"""``python -m repro.analysis`` — the static-analysis gate.
+
+Runs every registered pass over the given paths (default: ``src``)
+and exits nonzero on any finding.  CI runs ``--json src/`` as a hard
+gate; humans get the text report with fix hints.
+
+Examples::
+
+    python -m repro.analysis src/
+    python -m repro.analysis --json src/ > findings.json
+    python -m repro.analysis --rule DET001 --rule DET002 src/repro/mac
+    python -m repro.analysis --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.engine import (
+    SUPPRESSION_RULES,
+    AnalysisPass,
+    run_passes,
+)
+from repro.analysis.findings import render_json_payload, render_text
+from repro.analysis.passes import (
+    CheckpointCoveragePass,
+    DeterminismPass,
+    FlagManifestPass,
+    MetricNamePass,
+    TraceKindPass,
+)
+from repro.analysis.project import load_project
+
+__all__ = ["build_passes", "main", "rule_catalog"]
+
+
+def build_passes(manifest: Optional[Path] = None) -> List[AnalysisPass]:
+    """The default pass set, in report-grouping order."""
+    return [
+        DeterminismPass(),
+        FlagManifestPass(manifest_path=manifest),
+        TraceKindPass(),
+        CheckpointCoveragePass(),
+        MetricNamePass(),
+    ]
+
+
+def rule_catalog() -> Dict[str, str]:
+    catalog: Dict[str, str] = {
+        "SYN001": "file does not parse",
+    }
+    for analysis_pass in build_passes():
+        catalog.update(analysis_pass.rules)
+    catalog.update(SUPPRESSION_RULES)
+    return catalog
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "repo-specific static analysis: determinism lint, config-"
+            "gate audit, trace-kind cross-check, checkpoint coverage, "
+            "metrics-name lint"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files/directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the findings as a deterministic JSON document",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help=(
+            "run only the named rule(s); repeatable.  Disables the "
+            "SUP001/SUP002 suppression audit."
+        ),
+    )
+    parser.add_argument(
+        "--manifest",
+        type=Path,
+        default=None,
+        help="flags manifest path (default: analysis/flags.toml)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, description in sorted(rule_catalog().items()):
+            print(f"{rule}  {description}")
+        return 0
+
+    known = rule_catalog()
+    if args.rule:
+        unknown = sorted(set(args.rule) - set(known))
+        if unknown:
+            print(
+                f"unknown rule(s): {', '.join(unknown)} "
+                "(see --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"no such path(s): {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    project = load_project(paths)
+    findings = run_passes(
+        project, build_passes(args.manifest), rule_filter=args.rule
+    )
+
+    if args.json:
+        print(
+            json.dumps(
+                render_json_payload(findings),
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+    elif findings:
+        print(render_text(findings))
+    if findings:
+        if not args.json:
+            print(
+                f"\n{len(findings)} finding(s).  Suppress a deliberate "
+                "exception with `# noqa-repro: RULE — reason`.",
+                file=sys.stderr,
+            )
+        return 1
+    if not args.json:
+        print(f"OK: {len(project.files)} files clean")
+    return 0

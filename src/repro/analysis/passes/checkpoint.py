@@ -1,0 +1,338 @@
+"""Checkpoint-coverage: controller volatile state vs ``repro.ha.checkpoint``.
+
+The HA guarantee (PR 3) is that ``checkpoint_controller`` captures
+**all** of the controller's volatile protocol state — a promoted
+standby restores it and continues bit-identically.  That "all" decays
+one field at a time: PR 7 added the admission pacer, PR 8 added the
+departed-client replay guard, and nothing but reviewer memory connects
+a new ``self._foo`` in ``controller.py`` to the serializer in
+``ha/checkpoint.py``.  This pass closes the loop statically:
+
+* an attribute is **volatile** when any method outside ``__init__``
+  assigns it (``self.x = ...``, ``self.x[...] = ...``, ``self.x += 1``)
+  or calls a mutating container method on it (``.add``, ``.append``,
+  ``.pop``, ``.update``, ...);
+* it is **covered** when ``checkpoint_controller`` reads
+  ``controller.<attr>``;
+* deliberately non-checkpointed state carries an inline
+  ``# volatile-ok: reason`` on one of its assignment lines (the reason
+  is mandatory — an allowlist entry is a design decision, not a shrug).
+
+========  ============================================================
+rule      fires when
+========  ============================================================
+CKP001    volatile attribute neither checkpointed nor ``volatile-ok``
+CKP002    checkpoint code reads an attribute the controller class
+          never assigns (serializer drifted ahead of the state)
+CKP003    a ``# volatile-ok`` with no reason
+========  ============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.engine import AnalysisPass
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import Project, SourceFile
+
+__all__ = ["CheckpointCoveragePass"]
+
+#: Container methods that mutate their receiver.
+_MUTATING_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+_VOLATILE_OK_RE = re.compile(
+    r"#\s*volatile-ok(?::\s*(?P<reason>.*\S))?"
+)
+_SELF_ATTR_RE = re.compile(r"self\.(\w+)")
+
+
+def _self_attr_of_target(node: ast.AST) -> Optional[str]:
+    """``self.x`` / ``self.x[...]`` assignment target → ``x``."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class CheckpointCoveragePass(AnalysisPass):
+    name = "checkpoint-coverage"
+    rules = {
+        "CKP001": "volatile controller state not covered by the checkpoint",
+        "CKP002": "checkpoint reads an attribute the controller lacks",
+        "CKP003": "volatile-ok allowlist entry without a reason",
+    }
+
+    def __init__(
+        self,
+        state_file_suffix: str = "repro/core/controller.py",
+        state_class: str = "WgttController",
+        checkpoint_file_suffix: str = "repro/ha/checkpoint.py",
+        serialize_function: str = "checkpoint_controller",
+        restore_function: str = "restore_controller",
+        state_param: str = "controller",
+    ):
+        self.state_file_suffix = state_file_suffix
+        self.state_class = state_class
+        self.checkpoint_file_suffix = checkpoint_file_suffix
+        self.serialize_function = serialize_function
+        self.restore_function = restore_function
+        self.state_param = state_param
+
+    # -- state-class harvesting ---------------------------------------
+
+    def _find_class(self, file: SourceFile) -> Optional[ast.ClassDef]:
+        assert file.tree is not None
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.ClassDef) and node.name == self.state_class:
+                return node
+        return None
+
+    def _harvest_state(
+        self, file: SourceFile, class_node: ast.ClassDef
+    ) -> Tuple[Set[str], Dict[str, int], Set[str]]:
+        """(all assigned attrs, volatile attr → first mutation line,
+        method/property names)."""
+        assigned: Set[str] = set()
+        volatile: Dict[str, int] = {}
+        methods: Set[str] = set()
+
+        for method in class_node.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            methods.add(method.name)
+            in_init = method.name == "__init__"
+            for node in ast.walk(method):
+                attrs_here: List[str] = []
+                if isinstance(node, ast.Assign):
+                    attrs_here = [
+                        attr
+                        for attr in map(_self_attr_of_target, node.targets)
+                        if attr is not None
+                    ]
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    attr = _self_attr_of_target(node.target)
+                    if attr is not None:
+                        attrs_here = [attr]
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATING_METHODS
+                ):
+                    attr = _self_attr_of_target(node.func.value)
+                    if attr is not None and not in_init:
+                        volatile.setdefault(attr, node.lineno)
+                if attrs_here:
+                    assigned.update(attrs_here)
+                    if not in_init:
+                        for attr in attrs_here:
+                            volatile.setdefault(attr, node.lineno)
+        return assigned, volatile, methods
+
+    def _harvest_allowlist(
+        self, file: SourceFile
+    ) -> Tuple[Dict[str, str], List[Finding]]:
+        """``# volatile-ok`` markers: attr → reason, plus CKP003s."""
+        allowlist: Dict[str, str] = {}
+        findings: List[Finding] = []
+        for line_no, line in enumerate(file.lines, start=1):
+            match = _VOLATILE_OK_RE.search(line)
+            if match is None:
+                continue
+            attr_match = _SELF_ATTR_RE.search(line)
+            reason = (match.group("reason") or "").strip()
+            if not reason:
+                findings.append(
+                    Finding(
+                        path=file.display_path,
+                        line=line_no,
+                        col=0,
+                        rule="CKP003",
+                        severity=Severity.ERROR,
+                        message=(
+                            "volatile-ok without a reason: deliberately "
+                            "non-checkpointed state must say why the "
+                            "loss across failover is acceptable"
+                        ),
+                        hint="write `# volatile-ok: <why>`",
+                    )
+                )
+            if attr_match is not None:
+                allowlist[attr_match.group(1)] = reason
+        return allowlist, findings
+
+    # -- checkpoint-side harvesting -----------------------------------
+
+    def _harvest_reads(
+        self, file: SourceFile
+    ) -> Tuple[Set[str], Dict[str, int]]:
+        """Attrs read as ``<param>.<attr>`` in the serialize function
+        (coverage), and in either function (existence, with lines)."""
+        assert file.tree is not None
+        covered: Set[str] = set()
+        referenced: Dict[str, int] = {}
+        for node in ast.walk(file.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name not in (self.serialize_function, self.restore_function):
+                continue
+            for sub in ast.walk(node):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == self.state_param
+                ):
+                    referenced.setdefault(sub.attr, sub.lineno)
+                    if node.name == self.serialize_function:
+                        covered.add(sub.attr)
+        return covered, referenced
+
+    # -- the cross-check ----------------------------------------------
+
+    def run(self, project: Project) -> List[Finding]:
+        state_file = project.by_suffix(self.state_file_suffix)
+        checkpoint_file = project.by_suffix(self.checkpoint_file_suffix)
+        if (
+            state_file is None
+            or checkpoint_file is None
+            or state_file.tree is None
+            or checkpoint_file.tree is None
+        ):
+            # Partial scan: nothing to cross-check.
+            return []
+        class_node = self._find_class(state_file)
+        if class_node is None:
+            return []
+
+        assigned, volatile, methods = self._harvest_state(
+            state_file, class_node
+        )
+        allowlist, findings = self._harvest_allowlist(state_file)
+        covered, referenced = self._harvest_reads(checkpoint_file)
+
+        for attr in sorted(volatile):
+            if attr in covered or attr in allowlist:
+                continue
+            findings.append(
+                Finding(
+                    path=state_file.display_path,
+                    line=volatile[attr],
+                    col=0,
+                    rule="CKP001",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"{self.state_class}.{attr} is mutated outside "
+                        "__init__ but checkpoint_controller never reads "
+                        "it — this state is lost across failover"
+                    ),
+                    hint=(
+                        "serialize it in repro/ha/checkpoint.py (and "
+                        "restore it), or mark the assignment "
+                        "`# volatile-ok: <why loss is acceptable>`"
+                    ),
+                )
+            )
+        for attr in sorted(referenced):
+            if attr in assigned or attr in methods:
+                continue
+            findings.append(
+                Finding(
+                    path=checkpoint_file.display_path,
+                    line=referenced[attr],
+                    col=0,
+                    rule="CKP002",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"checkpoint code reads {self.state_param}.{attr}, "
+                        f"which {self.state_class} never assigns — the "
+                        "serializer drifted ahead of the state class"
+                    ),
+                    hint="remove or rename the stale read",
+                )
+            )
+        findings.extend(
+            self._check_to_state_classes(state_file, allowlist)
+        )
+        return findings
+
+    def _check_to_state_classes(
+        self, file: SourceFile, allowlist: Dict[str, str]
+    ) -> List[Finding]:
+        """Companion check for classes serialized via ``to_state()``
+        (``ClientState``, ``SwitchRecord``-style): every attribute the
+        class assigns on itself must be read inside ``to_state`` —
+        otherwise a restored instance silently loses it."""
+        assert file.tree is not None
+        findings: List[Finding] = []
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            to_state = next(
+                (
+                    method
+                    for method in node.body
+                    if isinstance(method, ast.FunctionDef)
+                    and method.name == "to_state"
+                ),
+                None,
+            )
+            if to_state is None:
+                continue
+            assigned, volatile, _methods = self._harvest_state(file, node)
+            serialized = {
+                sub.attr
+                for sub in ast.walk(to_state)
+                if isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "self"
+            }
+            # Everything __init__ sets on a to_state class is protocol
+            # state (these classes exist to be checkpointed), so the
+            # audit covers all assigned attrs, not just post-__init__
+            # mutations.
+            for attr in sorted(assigned):
+                if attr in serialized or attr in allowlist:
+                    continue
+                line = volatile.get(attr, node.lineno)
+                findings.append(
+                    Finding(
+                        path=file.display_path,
+                        line=line,
+                        col=0,
+                        rule="CKP001",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"{node.name}.{attr} is never read by "
+                            f"{node.name}.to_state — this field is lost "
+                            "across checkpoint/restore"
+                        ),
+                        hint=(
+                            "serialize it in to_state/from_state, or "
+                            "mark the assignment `# volatile-ok: <why>`"
+                        ),
+                    )
+                )
+        return findings

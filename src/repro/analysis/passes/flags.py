@@ -1,0 +1,247 @@
+"""Config-gate auditor: feature-flag defaults vs the committed manifest.
+
+Every feature grown onto this reproduction ships config-gated **off**
+by default, and the off-state is verified bit-identical to the prior
+revision (CHANGES.md records this per PR).  That guarantee dies the day
+a new flag quietly defaults *on*, or an existing default flips in a
+refactor.  This pass extracts every ``bool``-typed field of every
+``*Config`` dataclass in the scanned tree and checks it against the
+committed manifest (``analysis/flags.toml``): a flag the manifest has
+never reviewed, a manifest entry whose flag is gone, or a default that
+silently changed each fail the run.
+
+========  ============================================================
+rule      fires when
+========  ============================================================
+CFG001    a config flag is missing from the manifest (new/unreviewed)
+CFG002    a manifest entry has no matching flag in code (stale), or
+          the manifest itself is missing/unreadable
+CFG003    a flag's default differs from the manifest's recorded value
+========  ============================================================
+
+The manifest is the review record: adding a flag means adding its
+(reviewed) default here in the same diff, which is exactly the CI
+surface where a default-on gate gets questioned.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.engine import AnalysisPass
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import Project
+
+__all__ = ["FlagManifestPass", "collect_flags", "load_flags_manifest"]
+
+#: Default manifest location, relative to the invocation root.
+DEFAULT_MANIFEST = Path("analysis/flags.toml")
+
+_TOML_LINE = re.compile(
+    r"""^\s*(?:"(?P<quoted>[^"]+)"|(?P<bare>[\w.\-]+))\s*=\s*
+        (?P<value>true|false)\s*(?:\#.*)?$""",
+    re.VERBOSE,
+)
+_TOML_SECTION = re.compile(r"^\s*\[(?P<name>[^\]]+)\]\s*(?:#.*)?$")
+
+
+def load_flags_manifest(path: Path) -> Dict[str, bool]:
+    """Read the ``[flags]`` table: flag key → reviewed default.
+
+    Uses :mod:`tomllib` when available (3.11+); otherwise a minimal
+    line parser covering the subset this manifest uses (quoted keys,
+    boolean values) — the repo adds no third-party TOML dependency.
+    """
+    try:
+        import tomllib
+    except ImportError:  # Python <= 3.10
+        tomllib = None  # type: ignore[assignment]
+    if tomllib is not None:
+        with open(path, "rb") as handle:
+            data = tomllib.load(handle)
+        flags = data.get("flags", {})
+        return {str(key): bool(value) for key, value in flags.items()}
+    flags: Dict[str, bool] = {}
+    section = ""
+    for line in path.read_text(encoding="utf-8").splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        section_match = _TOML_SECTION.match(line)
+        if section_match:
+            section = section_match.group("name").strip()
+            continue
+        if section != "flags":
+            continue
+        match = _TOML_LINE.match(line)
+        if match:
+            key = match.group("quoted") or match.group("bare")
+            flags[key] = match.group("value") == "true"
+    return flags
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else ""
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+def collect_flags(
+    project: Project,
+) -> Dict[str, Tuple[bool, str, int]]:
+    """Every bool field of every ``*Config`` dataclass in the project.
+
+    Returns ``{module.Class.field: (default, display_path, line)}``.
+    """
+    flags: Dict[str, Tuple[bool, str, int]] = {}
+    for file in project.files:
+        if file.tree is None:
+            continue
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith("Config"):
+                continue
+            if not _is_dataclass_decorated(node):
+                continue
+            for statement in node.body:
+                if not isinstance(statement, ast.AnnAssign):
+                    continue
+                if not isinstance(statement.target, ast.Name):
+                    continue
+                field_name = statement.target.id
+                if field_name.startswith("_"):
+                    continue
+                annotation = statement.annotation
+                if not (
+                    isinstance(annotation, ast.Name)
+                    and annotation.id == "bool"
+                ):
+                    continue
+                default = statement.value
+                if not (
+                    isinstance(default, ast.Constant)
+                    and isinstance(default.value, bool)
+                ):
+                    continue
+                key = f"{file.module}.{node.name}.{field_name}"
+                flags[key] = (
+                    default.value,
+                    file.display_path,
+                    statement.lineno,
+                )
+    return flags
+
+
+class FlagManifestPass(AnalysisPass):
+    name = "flags"
+    rules = {
+        "CFG001": "config flag missing from the flags manifest",
+        "CFG002": "stale manifest entry (or missing manifest)",
+        "CFG003": "config flag default differs from the manifest",
+    }
+
+    def __init__(self, manifest_path: Optional[Path] = None):
+        self.manifest_path = manifest_path
+
+    def run(self, project: Project) -> List[Finding]:
+        manifest_path = self.manifest_path or (project.root / DEFAULT_MANIFEST)
+        try:
+            manifest_display = manifest_path.relative_to(project.root).as_posix()
+        except ValueError:
+            manifest_display = manifest_path.as_posix()
+        flags = collect_flags(project)
+        if not manifest_path.exists():
+            if not flags:
+                return []  # nothing to audit in this scan
+            return [
+                Finding(
+                    path=manifest_display,
+                    line=1,
+                    col=0,
+                    rule="CFG002",
+                    severity=Severity.ERROR,
+                    message="flags manifest not found",
+                    hint=(
+                        "commit analysis/flags.toml with a [flags] table "
+                        "of module.Class.field = default entries"
+                    ),
+                )
+            ]
+        manifest = load_flags_manifest(manifest_path)
+
+        findings: List[Finding] = []
+        for key in sorted(set(flags) - set(manifest)):
+            default, path, line = flags[key]
+            on_warning = (
+                " — and it defaults ON, which breaks the gated-off-by-"
+                "default contract unless explicitly reviewed"
+                if default
+                else ""
+            )
+            findings.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    col=0,
+                    rule="CFG001",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"flag {key} (default {default}) is not in the "
+                        f"manifest{on_warning}"
+                    ),
+                    hint=(
+                        f'add `"{key}" = {str(default).lower()}` to '
+                        f"{manifest_display} in the same change"
+                    ),
+                )
+            )
+        # Manifest-side staleness only makes sense when the scan found
+        # flags at all: pointing the tool at one non-config file must
+        # not report the whole manifest as stale (CI's full src/ scan
+        # always includes the config modules).
+        for key in sorted(set(manifest) - set(flags)) if flags else []:
+            findings.append(
+                Finding(
+                    path=manifest_display,
+                    line=1,
+                    col=0,
+                    rule="CFG002",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"manifest entry {key} matches no config flag in "
+                        "the scanned tree"
+                    ),
+                    hint="remove the stale entry (or fix the rename)",
+                )
+            )
+        for key in sorted(set(manifest) & set(flags)):
+            default, path, line = flags[key]
+            if manifest[key] != default:
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=line,
+                        col=0,
+                        rule="CFG003",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"flag {key} defaults to {default} but the "
+                            f"manifest records {manifest[key]} — a default "
+                            "silently flipped"
+                        ),
+                        hint=(
+                            "if the flip is intentional, update "
+                            f"{manifest_display} in the same change"
+                        ),
+                    )
+                )
+        return findings

@@ -139,7 +139,7 @@ class WgttController:
         self._ap_ids: Set[str] = set()
         #: False while crashed (fault injection): timers stopped, the
         #: backhaul endpoint dark, volatile protocol state lost.
-        self.alive = True
+        self.alive = True  # volatile-ok: liveness is a property of the process, not the state — a restored controller is alive by construction
         #: "primary" | "standby" | "active" (a promoted standby).
         self.role = "primary"
         #: HA peer (warm standby) backhaul id; when set, serving
@@ -171,8 +171,8 @@ class WgttController:
         #: generations are ``(epoch_us, seq)`` — lexicographic order
         #: makes every post-restart update dominate every pre-restart
         #: one without any cross-incarnation counter handoff.
-        self.epoch_us = sim.now
-        self._serving_seq = 0
+        self.epoch_us = sim.now  # volatile-ok: per-incarnation authority; a promoted standby must mint a fresh, strictly-later epoch or replays from the dead primary could win
+        self._serving_seq = 0  # volatile-ok: sequence within this incarnation's epoch; restarts at 0 under the fresh epoch by design
         #: client -> departure time: recently departed clients, for
         #: rejecting replayed sta-syncs that would resurrect them
         #: (bounded FIFO, mirroring the AP-side departed memory).
@@ -187,9 +187,9 @@ class WgttController:
             lambda client_id, ap_id: None
         )
         #: (time_us, client, ap) — serving-AP timeline for Figure 14/15.
-        self.serving_timeline: List[Tuple[int, str, str]] = []
+        self.serving_timeline: List[Tuple[int, str, str]] = []  # volatile-ok: observability export, never read by protocol logic; crash docs promise it survives like an external metrics pipeline
 
-        self.stats = {
+        self.stats = {  # volatile-ok: observability counters, same external-pipeline contract as serving_timeline
             "downlink_accepted": 0,
             "downlink_unassociated": 0,
             "fanout_messages": 0,

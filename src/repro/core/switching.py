@@ -407,8 +407,11 @@ class SwitchCoordinator:
         have — the bit-identical-continuation property test holds the
         coordinator to this.
         """
-        for pending in self._pending.values():
-            pending.timer.stop()
+        # Sorted keys: stop() order is inert today, but restore is the
+        # bit-identical-continuation path — never let dict insertion
+        # history pick an order here (repro.analysis DET005).
+        for switch_id in sorted(self._pending):
+            self._pending[switch_id].timer.stop()
         self._pending = {}
         self._next_switch_id = int(state["next_switch_id"])
         self.abandoned = int(state["abandoned"])

@@ -470,10 +470,14 @@ class FaultPlan:
         duration_s = duration_us / 1e6
         events: List[FaultEvent] = []
 
-        def _arrival_times(stream_label: str, rate_per_s: float) -> List[int]:
+        # Stream labels stay literal at every .stream() call site (the
+        # repro.analysis DET003 contract: ownership must be greppable),
+        # so the helper takes the generator, not the label.
+        def _arrival_times(
+            gen: "np.random.Generator", rate_per_s: float
+        ) -> List[int]:
             if rate_per_s <= 0.0:
                 return []
-            gen = rng.stream(stream_label)
             count = int(gen.poisson(rate_per_s * duration_s))
             times = sorted(
                 int(gen.integers(0, duration_us)) for _ in range(count)
@@ -482,13 +486,13 @@ class FaultPlan:
 
         # AP crash + restart --------------------------------------------
         crash_gen = rng.stream("faults/crashes/choice")
-        for at_us in _arrival_times("faults/crashes", crash_rate_per_s):
+        for at_us in _arrival_times(rng.stream("faults/crashes"), crash_rate_per_s):
             ap_id = ap_ids[int(crash_gen.integers(0, len(ap_ids)))]
             events.append(ApCrash(at_us=at_us, ap_id=ap_id, down_us=crash_down_us))
 
         # Backhaul partition --------------------------------------------
         part_gen = rng.stream("faults/partitions/choice")
-        for at_us in _arrival_times("faults/partitions", partition_rate_per_s):
+        for at_us in _arrival_times(rng.stream("faults/partitions"), partition_rate_per_s):
             # Partition a random non-empty strict subset of the APs
             # away from the controller (and the remaining APs).
             k = int(part_gen.integers(1, max(2, len(ap_ids))))
@@ -506,7 +510,7 @@ class FaultPlan:
 
         # Link jitter ----------------------------------------------------
         jit_gen = rng.stream("faults/jitter/choice")
-        for at_us in _arrival_times("faults/jitter", jitter_rate_per_s):
+        for at_us in _arrival_times(rng.stream("faults/jitter"), jitter_rate_per_s):
             ap_id = ap_ids[int(jit_gen.integers(0, len(ap_ids)))]
             events.append(
                 LinkJitter(
@@ -520,7 +524,7 @@ class FaultPlan:
 
         # Controller crash ----------------------------------------------
         for at_us in _arrival_times(
-            "faults/ctrl-crashes", controller_crash_rate_per_s
+            rng.stream("faults/ctrl-crashes"), controller_crash_rate_per_s
         ):
             events.append(
                 ControllerCrash(
@@ -532,7 +536,7 @@ class FaultPlan:
 
         # CSI blackout ---------------------------------------------------
         csi_gen = rng.stream("faults/csi/choice")
-        for at_us in _arrival_times("faults/csi", csi_blackout_rate_per_s):
+        for at_us in _arrival_times(rng.stream("faults/csi"), csi_blackout_rate_per_s):
             ap_id = ap_ids[int(csi_gen.integers(0, len(ap_ids)))]
             events.append(
                 CsiBlackout(
@@ -544,7 +548,7 @@ class FaultPlan:
 
         # Message duplication -------------------------------------------
         dup_gen = rng.stream("faults/dup/choice")
-        for at_us in _arrival_times("faults/dup", duplication_rate_per_s):
+        for at_us in _arrival_times(rng.stream("faults/dup"), duplication_rate_per_s):
             kinds = ADVERSARY_KIND_GROUPS[
                 int(dup_gen.integers(0, len(ADVERSARY_KIND_GROUPS)))
             ]
@@ -560,7 +564,7 @@ class FaultPlan:
 
         # Stale replay ---------------------------------------------------
         replay_gen = rng.stream("faults/replay/choice")
-        for at_us in _arrival_times("faults/replay", replay_rate_per_s):
+        for at_us in _arrival_times(rng.stream("faults/replay"), replay_rate_per_s):
             kinds = ADVERSARY_KIND_GROUPS[
                 int(replay_gen.integers(0, len(ADVERSARY_KIND_GROUPS)))
             ]
@@ -574,7 +578,7 @@ class FaultPlan:
             )
 
         # Corruption -> drop --------------------------------------------
-        for at_us in _arrival_times("faults/corrupt", corruption_rate_per_s):
+        for at_us in _arrival_times(rng.stream("faults/corrupt"), corruption_rate_per_s):
             events.append(
                 MsgCorruption(
                     at_us=at_us,
@@ -590,7 +594,7 @@ class FaultPlan:
         # order, so the same draws always keep the same subset.
         oneway_gen = rng.stream("faults/oneway/choice")
         oneway_busy: dict = {}
-        for at_us in _arrival_times("faults/oneway", oneway_rate_per_s):
+        for at_us in _arrival_times(rng.stream("faults/oneway"), oneway_rate_per_s):
             ap_id = ap_ids[int(oneway_gen.integers(0, len(ap_ids)))]
             towards_ap = bool(oneway_gen.integers(0, 2))
             src, dst = (
@@ -612,7 +616,7 @@ class FaultPlan:
 
         # Gray failure ---------------------------------------------------
         gray_gen = rng.stream("faults/gray/choice")
-        for at_us in _arrival_times("faults/gray", gray_rate_per_s):
+        for at_us in _arrival_times(rng.stream("faults/gray"), gray_rate_per_s):
             ap_id = ap_ids[int(gray_gen.integers(0, len(ap_ids)))]
             events.append(
                 GrayFailure(

@@ -28,13 +28,17 @@ from __future__ import annotations
 
 import hashlib
 import json
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.core.assoc_sync import AssociationDirectory, StaInfo
 
 #: Bump when the checkpoint layout changes; restore refuses mismatches.
-CHECKPOINT_VERSION = 1
+#: v2: added "departed_at" (the departed-client replay guard — without
+#: it a promoted standby would re-admit replayed sta-syncs for clients
+#: that left before the failover; found by repro.analysis CKP001).
+CHECKPOINT_VERSION = 2
 
 
 @dataclass
@@ -148,6 +152,13 @@ def checkpoint_controller(controller) -> ControllerCheckpoint:
         "dead_aps": sorted(controller._dead_aps),
         "last_heard": last_heard,
         "pending_claims": dict(controller._pending_claims),
+        # List-of-pairs, not a dict: _departed_at is a bounded FIFO
+        # (eviction order = insertion order) and JSON objects would
+        # lose that order under canonical sorted-keys rendering.
+        "departed_at": [
+            [client_id, int(t)]
+            for client_id, t in controller._departed_at.items()
+        ],
     }
     return ControllerCheckpoint(
         version=CHECKPOINT_VERSION,
@@ -172,12 +183,15 @@ def restore_controller(controller, checkpoint: ControllerCheckpoint) -> None:
         )
     state = checkpoint.state
 
-    # Quiesce whatever the target controller was doing.
-    for timer in controller._selection_timers.values():
-        timer.stop()
+    # Quiesce whatever the target controller was doing.  Sorted keys:
+    # Timer.stop() is order-independent today, but restore is on the
+    # bit-identical-continuation path and must not let dict insertion
+    # history leak into event order (repro.analysis DET005).
+    for client_id in sorted(controller._selection_timers):
+        controller._selection_timers[client_id].stop()
     controller._selection_timers.clear()
-    for timer in controller._retry_timers.values():
-        timer.stop()
+    for client_id in sorted(controller._retry_timers):
+        controller._retry_timers[client_id].stop()
     controller._retry_timers.clear()
 
     # Plain stores first.
@@ -204,6 +218,9 @@ def restore_controller(controller, checkpoint: ControllerCheckpoint) -> None:
         for client_id, heard in state["last_heard"].items()
     }
     controller._pending_claims = dict(state["pending_claims"])
+    controller._departed_at = OrderedDict(
+        (client_id, int(t)) for client_id, t in state["departed_at"]
+    )
 
     # Timers, in the canonical order.
     for client_id in sorted(state["selection_deadlines"]):

@@ -18,6 +18,7 @@ from typing import Callable, Dict, FrozenSet, Iterable, Optional, Tuple
 import numpy as np
 
 from repro.sim.engine import Simulator
+from repro.sim.rng import seeded_generator
 
 #: Default one-way latency: wire + switch + kernel/user handoff.
 DEFAULT_LATENCY_US = 300
@@ -447,7 +448,7 @@ class EthernetBackhaul:
 
     def _loss_draw(self) -> float:
         if self._loss_rng is None:
-            self._loss_rng = np.random.default_rng(DEFAULT_LOSS_SEED)
+            self._loss_rng = seeded_generator(DEFAULT_LOSS_SEED)
         return self._loss_rng.random()
 
     def send(

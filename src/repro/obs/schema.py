@@ -27,9 +27,72 @@ import json
 import sys
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-__all__ = ["EVENT_KINDS", "validate_record", "validate_lines", "main"]
+__all__ = [
+    "EVENT_KINDS",
+    "TRACE_NAMES",
+    "validate_record",
+    "validate_lines",
+    "main",
+]
 
 EVENT_KINDS = ("event", "span")
+
+#: Every event/span name any subsystem emits, with the subsystems
+#: allowed to emit it.  This is the other half of the emit-site
+#: contract: the ``repro.analysis`` trace-kind pass (TRC001/TRC002)
+#: statically cross-checks the emit sites in ``src/`` against this
+#: catalog in both directions, so an event name cannot exist only at
+#: its emit site (invisible to consumers) or only here (a contract
+#: nothing fulfills).  Keep it sorted; add the name in the same change
+#: that adds the emit site.
+TRACE_NAMES: Dict[str, Tuple[str, ...]] = {
+    "air-tx": ("medium",),
+    "ampdu-tx": ("mac",),
+    "ap-crash": ("ap",),
+    "ap-dead": ("controller",),
+    "ap-recovered": ("controller",),
+    "ap-restart": ("ap",),
+    "ba-forward": ("ap",),
+    "ba-timeout": ("mac",),
+    "checkpoint-restore": ("ha",),
+    "checkpoint-ship": ("ha",),
+    "corrupt-drop": ("backhaul",),
+    "ctrl-crash": ("controller",),
+    "ctrl-restart": ("controller",),
+    "cyclic-insert": ("ap",),
+    "downlink-lost": ("ha",),
+    "downlink-paced": ("controller",),
+    "dup-tx": ("backhaul",),
+    "failover": ("controller",),
+    "failover-initiated": ("controller",),
+    "failover-no-candidate": ("controller",),
+    "failover-processing": ("ap",),
+    "fault": ("faults",),
+    "fault-drop": ("backhaul",),
+    "gray-drop": ("backhaul",),
+    "hold-enter": ("ap",),
+    "hold-exit": ("ap",),
+    "invariant-violation": ("invariants",),
+    "loss-drop": ("backhaul",),
+    "oneway-drop": ("backhaul",),
+    "promotion": ("ha",),
+    "rehome": ("ap",),
+    "replay-tx": ("backhaul",),
+    "serving-relinquish": ("ap",),
+    "serving-update": ("controller",),
+    "stale-ack": ("controller",),
+    "stale-ctrl-epoch": ("ap",),
+    "stale-serving-claim": ("controller",),
+    "stale-sta-sync": ("controller",),
+    "stale-switch-msg": ("ap",),
+    "start-processing": ("ap",),
+    "stop-processing": ("ap",),
+    "switch": ("controller",),
+    "switch-retry": ("controller",),
+    "takeover-announce": ("ha",),
+    "tx": ("backhaul",),
+    "uplink-deliver": ("testbed",),
+}
 
 #: field -> required python type for every record.
 _REQUIRED: Dict[str, type] = {
@@ -42,8 +105,14 @@ _REQUIRED: Dict[str, type] = {
 }
 
 
-def validate_record(record: object) -> List[str]:
-    """Problems with one decoded record; empty list when valid."""
+def validate_record(record: object, check_names: bool = True) -> List[str]:
+    """Problems with one decoded record; empty list when valid.
+
+    ``check_names`` additionally holds ``(sub, name)`` to the
+    :data:`TRACE_NAMES` catalog — the default, since every trace this
+    repo produces must come from a cataloged emit site.  Pass False
+    when validating traces from a build with out-of-tree emitters.
+    """
     problems: List[str] = []
     if not isinstance(record, dict):
         return [f"record is {type(record).__name__}, not an object"]
@@ -59,6 +128,17 @@ def validate_record(record: object) -> List[str]:
         return problems
     if record["kind"] not in EVENT_KINDS:
         problems.append(f"kind {record['kind']!r} not in {EVENT_KINDS}")
+    if check_names:
+        allowed = TRACE_NAMES.get(record["name"])
+        if allowed is None:
+            problems.append(
+                f"name {record['name']!r} not in the TRACE_NAMES catalog"
+            )
+        elif record["sub"] not in allowed:
+            problems.append(
+                f"name {record['name']!r} emitted by sub {record['sub']!r}, "
+                f"catalog allows {sorted(allowed)}"
+            )
     if record["ts"] < 0 or record["seq"] < 0:
         problems.append("ts/seq must be non-negative")
     if record["kind"] == "span":
@@ -78,7 +158,9 @@ def validate_record(record: object) -> List[str]:
     return problems
 
 
-def validate_lines(lines: Iterable[str]) -> Tuple[int, List[str]]:
+def validate_lines(
+    lines: Iterable[str], check_names: bool = True
+) -> Tuple[int, List[str]]:
     """Validate a JSONL stream; returns (record_count, problems)."""
     problems: List[str] = []
     seen_seqs: Set[int] = set()
@@ -93,7 +175,7 @@ def validate_lines(lines: Iterable[str]) -> Tuple[int, List[str]]:
         except json.JSONDecodeError as error:
             problems.append(f"line {line_no}: not JSON ({error.msg})")
             continue
-        for problem in validate_record(record):
+        for problem in validate_record(record, check_names=check_names):
             problems.append(f"line {line_no}: {problem}")
         if isinstance(record, dict) and isinstance(record.get("seq"), int):
             if record["seq"] in seen_seqs:
@@ -112,9 +194,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--max-problems", type=int, default=20,
         help="stop printing after this many problems",
     )
+    parser.add_argument(
+        "--no-name-check",
+        action="store_true",
+        help="skip the TRACE_NAMES catalog check (foreign traces)",
+    )
     args = parser.parse_args(argv)
     with open(args.path) as handle:
-        count, problems = validate_lines(handle)
+        count, problems = validate_lines(
+            handle, check_names=not args.no_name_check
+        )
     if problems:
         for problem in problems[: args.max_problems]:
             print(f"INVALID {problem}", file=sys.stderr)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from time import perf_counter
+from time import perf_counter  # noqa-repro: DET001 — profiler wall-time measurement only; never feeds simulation state
 from typing import Callable, List, Optional, Tuple
 
 from repro.obs.context import ObsContext

@@ -42,3 +42,16 @@ class RngRegistry:
         """A child registry whose streams are disjoint from the parent's."""
         digest = hashlib.sha256(f"{self.seed}/{label}".encode("utf-8")).digest()
         return RngRegistry(int.from_bytes(digest[:8], "little"))
+
+
+def seeded_generator(seed: int) -> np.random.Generator:
+    """A generator from an explicit fixed seed.
+
+    The blessed constructor for the few call sites that own a seed
+    constant rather than a registry (e.g. the backhaul's default loss
+    stream).  Routing them through here keeps ``repro.analysis``'s
+    DET002 guarantee airtight: every ``np.random`` generator in the
+    tree is constructed in this module, so auditing determinism means
+    auditing this file's callers — nothing else can mint entropy.
+    """
+    return np.random.default_rng(int(seed))
