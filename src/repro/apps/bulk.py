@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.scenarios.testbed import Testbed, TestbedConfig, build_testbed
+from repro.scenarios.testbed import Testbed, TestbedConfig
 from repro.sim.engine import SECOND
 
 
@@ -43,7 +43,7 @@ def run_bulk_download(
     ``duration_s`` defaults to the client's transit time across the
     modelled road (capped at 40 s so very slow drives stay tractable).
     """
-    testbed = build_testbed(config)
+    testbed = Testbed(config)
     if duration_s is None:
         try:
             duration_s = min(
@@ -70,7 +70,12 @@ def run_bulk_download(
     else:
         raise ValueError(f"unknown protocol {protocol!r}")
     switch_count = 0
-    if testbed.controller is not None:
+    if testbed.shard_manager is not None:
+        switch_count = sum(
+            len(shard.controller.coordinator.history)
+            for shard in testbed.shard_manager.shards
+        )
+    elif testbed.controller is not None:
         switch_count = len(testbed.controller.coordinator.history)
     else:
         agent = testbed.clients[client_index].agent

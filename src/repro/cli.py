@@ -69,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
     drive.add_argument("--scheme", choices=("wgtt", "baseline"), default="wgtt")
     drive.add_argument("--speed", type=float, default=15.0, metavar="MPH")
     drive.add_argument(
+        "--preset", metavar="NAME", default=None,
+        help="start from a scenario preset (repro.scenarios.presets; "
+        "e.g. mixed-density, shard-corridor); --seed/--scheme still "
+        "apply, and --speed applies unless the preset pins its own "
+        "client tracks",
+    )
+    drive.add_argument(
         "--protocol", choices=("tcp", "udp"), default="tcp"
     )
     drive.add_argument("--seconds", type=float, default=None)
@@ -174,22 +181,41 @@ def cmd_drive(args) -> int:
             detail=args.trace_detail,
             profile=args.profile,
         )
-    config = TestbedConfig(
-        seed=args.seed,
-        scheme=args.scheme,
-        client_speeds_mph=[args.speed],
-        obs=obs,
-    )
-    result = run_bulk_download(
-        config,
-        protocol=args.protocol,
-        duration_s=args.seconds,
-        udp_rate_bps=args.udp_rate_mbps * 1e6,
-        keep_testbed=bool(want_obs),
-    )
+    if args.preset is not None:
+        from repro.scenarios.presets import preset
+
+        try:
+            config = preset(
+                args.preset, seed=args.seed, scheme=args.scheme, obs=obs
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if config.client_tracks is None:
+            config.client_speeds_mph = [args.speed]
+    else:
+        config = TestbedConfig(
+            seed=args.seed,
+            scheme=args.scheme,
+            client_speeds_mph=[args.speed],
+            obs=obs,
+        )
+    try:
+        result = run_bulk_download(
+            config,
+            protocol=args.protocol,
+            duration_s=args.seconds,
+            udp_rate_bps=args.udp_rate_mbps * 1e6,
+            keep_testbed=bool(want_obs),
+        )
+    except ValueError as error:
+        # e.g. a sharded preset driven with --scheme baseline.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    label = f" [{args.preset}]" if args.preset is not None else ""
     print(
-        f"{args.scheme} / {args.protocol.upper()} at {args.speed:g} mph "
-        f"for {result.duration_s:.1f} s"
+        f"{args.scheme}{label} / {args.protocol.upper()} at "
+        f"{args.speed:g} mph for {result.duration_s:.1f} s"
     )
     print(f"  throughput : {result.throughput_mbps:.2f} Mbit/s")
     print(f"  switches   : {result.switch_count}")

@@ -177,6 +177,11 @@ class WgttAccessPoint:
             "stale_serving_updates": 0,
             "stale_sta_syncs": 0,
             "serving_relinquished": 0,
+            # Churn-facing guard: a stop/start/failover that was in
+            # flight when the (prioritized) client-departed message
+            # tore the client down must not resurrect serving duty.
+            # Zero on churn-free runs (lazily exported).
+            "serving_after_departure": 0,
         }
         backhaul.register(ap_id, self._on_backhaul)
         self._heartbeat_timer = Timer(self._sim, self._heartbeat_tick)
@@ -723,6 +728,14 @@ class WgttAccessPoint:
         becomes k.
         """
         client_id = message.client
+        if client_id in self._departed:
+            # A handshake message that lost the race with the
+            # (prioritized) client-departed teardown.  Forwarding
+            # start(c, k) now would resurrect serving duty for a rider
+            # the controller no longer tracks — nothing would ever
+            # revoke it.
+            self.stats["serving_after_departure"] += 1
+            return
         if not self._switch_id_ok(client_id, message.switch_id, "stale_stops"):
             return
         self.stats["stops_handled"] += 1
@@ -791,6 +804,12 @@ class WgttAccessPoint:
 
     def _handle_start(self, message: StartMsg) -> None:
         client_id = message.client
+        if client_id in self._departed:
+            # See _handle_stop: adopting serving duty for a departed
+            # client leaks it forever (the controller forgot the
+            # client, so no serving-update will ever relinquish it).
+            self.stats["serving_after_departure"] += 1
+            return
         if not self._switch_id_ok(client_id, message.switch_id, "stale_starts"):
             return
         self.stats["starts_handled"] += 1
@@ -812,6 +831,12 @@ class WgttAccessPoint:
         self.stats["cyclic_dropped_on_advance"] += dropped
 
         def activate():
+            if client_id in self._departed:
+                # Departure landed inside the start-processing window.
+                self.stats["serving_after_departure"] += 1
+                if span is not None:
+                    tracer.end(span)
+                return
             ack = AckMsg(
                 client=client_id, ap=self.ap_id, switch_id=message.switch_id
             )
@@ -839,6 +864,10 @@ class WgttAccessPoint:
         backlog resumes at the write edge — the next fanned-out packet.
         """
         client_id = message.client
+        if client_id in self._departed:
+            # See _handle_stop: never adopt a departed client.
+            self.stats["serving_after_departure"] += 1
+            return
         if not self._switch_id_ok(
             client_id, message.switch_id, "stale_failovers"
         ):

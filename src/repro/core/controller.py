@@ -186,6 +186,19 @@ class WgttController:
         self.on_serving_update: Callable[[str, str], None] = (
             lambda client_id, ap_id: None
         )
+        #: Ownership predicate installed by the shard manager.  When
+        #: set, uplinks from clients this controller does not own are
+        #: rejected *before* de-duplication: near a shard boundary the
+        #: neighbour shard's APs decode (and forward) the same frames,
+        #: and without the gate both shards would deliver them upstream.
+        #: None (the default) disables the check entirely.
+        self.owns_client: Optional[Callable[[str], bool]] = None
+        #: Backhaul kinds the dispatch table does not recognise land
+        #: here (shard glue: the inter-shard handoff protocol rides the
+        #: same controller endpoint without new controller state).
+        self.on_unhandled: Callable[[str, str, object], None] = (
+            lambda src, kind, payload: None
+        )
         #: (time_us, client, ap) — serving-AP timeline for Figure 14/15.
         self.serving_timeline: List[Tuple[int, str, str]] = []  # volatile-ok: observability export, never read by protocol logic; crash docs promise it survives like an external metrics pipeline
 
@@ -220,6 +233,9 @@ class WgttController:
             # adversary-free fingerprints are unchanged).
             "stale_sta_syncs": 0,
             "stale_serving_claims": 0,
+            # Sharded deployments only (lazily exported like the stale
+            # counters): uplinks rejected by the ownership gate.
+            "uplink_unowned": 0,
         }
         #: Per-client fair pacing (soak extension).  None unless
         #: ``admission_enabled`` — the default ingress path never
@@ -500,6 +516,8 @@ class WgttController:
             self._handle_serving_claim(src, payload)
         elif kind == "edge-report":
             self._handle_edge_report(src, payload)
+        else:
+            self.on_unhandled(src, kind, payload)
 
     def _handle_edge_report(self, src: str, payload: object) -> None:
         """Re-home cursor resync: an AP's per-client cyclic write edges.
@@ -572,6 +590,11 @@ class WgttController:
         )
 
     def _handle_uplink(self, packet: Packet) -> None:
+        if self.owns_client is not None and not self.owns_client(
+            packet.src
+        ):
+            self.stats["uplink_unowned"] += 1
+            return
         if self.dedup.accept(packet):
             self.on_uplink(packet)
 

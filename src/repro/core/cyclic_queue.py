@@ -251,6 +251,17 @@ class IndexAllocator:
             return True
         return False
 
+    def set_cursor(self, client_id: str, value: int) -> None:
+        """Install one client's cursor verbatim.
+
+        Inter-shard handoff: the receiving shard's allocator continues
+        exactly where the sending shard's stopped, so the client's
+        cyclic-queue index stream stays gap-free across the transfer
+        (its new APs start empty and sync via edge-reports anyway —
+        continuity keeps the index space from aliasing).
+        """
+        self._next[client_id] = int(value) % self.size
+
     # -- checkpoint support -------------------------------------------
 
     def snapshot(self) -> Dict[str, int]:

@@ -82,3 +82,28 @@ class PacketDeduplicator:
         self._seen = OrderedDict((int(k), None) for k in state["keys"])
         self.accepted = int(state["accepted"])
         self.duplicates = int(state["duplicates"])
+
+    # -- inter-shard handoff support ----------------------------------
+
+    def keys_for_src(self, src_bits: int) -> list:
+        """FIFO-ordered remembered keys whose source bits match.
+
+        A dedup key is ``(src_bits << 16) | ip_id``, so this is the
+        per-client slice of the window — what an inter-shard handoff
+        ships so the receiving shard recognises copies of datagrams the
+        sending shard already forwarded upstream.  In-process only:
+        ``src_bits`` derives from the per-process ``hash()``.
+        """
+        return [key for key in self._seen if key >> 16 == src_bits]
+
+    def merge_keys(self, keys: list) -> None:
+        """Append transferred keys (FIFO order kept, existing kept,
+        capacity enforced)."""
+        seen = self._seen
+        for key in keys:
+            key = int(key)
+            if key in seen:
+                continue
+            seen[key] = None
+            if len(seen) > self._capacity:
+                seen.popitem(last=False)

@@ -239,6 +239,41 @@ class ApSelector:
             for client_id, per_client in self._readings.items()
         }
 
+    def client_snapshot(
+        self, client_id: str
+    ) -> Dict[str, List[Tuple[int, float]]]:
+        """One client's window entries per AP (see :meth:`snapshot`) —
+        the per-client slice inter-shard handoff serializes."""
+        per_client = self._readings.get(client_id)
+        if not per_client:
+            return {}
+        return {
+            ap_id: list(window.entries)
+            for ap_id, window in per_client.items()
+        }
+
+    def restore_client(
+        self, client_id: str, state: Dict[str, List[Tuple[int, float]]]
+    ) -> None:
+        """Merge one client's transferred windows into this selector.
+
+        Used on the receiving side of an inter-shard handoff.  Series
+        this selector already holds for the client (CSI its own APs
+        overheard while the client approached the boundary) win over
+        the transferred copies — they are fresher by construction and
+        merging value-by-value would double-count readings.
+        """
+        per_client = self._readings.setdefault(client_id, {})
+        for ap_id, entries in state.items():
+            if not entries or ap_id in per_client:
+                continue
+            window = _Window()
+            window.entries = deque((int(t), float(v)) for t, v in entries)
+            window.sorted_values = sorted(v for _, v in window.entries)
+            per_client[ap_id] = window
+        if not per_client:
+            del self._readings[client_id]
+
     def restore(
         self, state: Dict[str, Dict[str, List[Tuple[int, float]]]]
     ) -> None:

@@ -1,0 +1,348 @@
+"""Extension experiment: city-scale sharded control plane gate + bench.
+
+The paper runs one controller over an eight-AP city block.  A transit
+*network* is a different regime: hundreds of picocells along miles of
+corridor, more than one controller's worth of clients, and a nearest-AP
+query that must not scan the whole deployment per event.  This gate
+exercises the :mod:`repro.shard` control plane end to end:
+
+* a corridor partitioned into contiguous AP-cluster shards, each owned
+  by its own controller (optionally with a warm standby per shard);
+* fleets of clients riding through shard boundaries, their
+  controller-side state (selection windows, serving map, dedup window)
+  migrating via the checkpoint-based inter-shard handoff protocol;
+* the sharded runtime invariant checker
+  (:class:`~repro.invariants.shard.ShardInvariantChecker`) auditing
+  every run — zero violations, zero duplicate deliveries across
+  handoffs;
+* byte-determinism — the same seed twice produces the identical
+  outcome digest.
+
+``--bench`` additionally measures per-query candidate-set cost of the
+uniform-grid AP index (:class:`~repro.scenarios.spatial.ApGridIndex`)
+against the legacy linear scan as the deployment grows 8 → 400 APs,
+and writes the result to ``BENCH_PR10.json`` — the committed evidence
+that nearest-AP cost stays flat while linear cost grows with N.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.registry import register_experiment
+from repro.experiments.runner import run_grid
+from repro.mobility.road import Position, Road
+from repro.mobility.vehicle import VehicleTrack
+from repro.scenarios.presets import shard_corridor_config
+from repro.scenarios.spatial import ApGridIndex
+from repro.scenarios.testbed import Testbed, TestbedConfig
+from repro.shard.config import ShardConfig
+
+#: Deployment sizes for the candidate-set bench (APs along the road).
+BENCH_NUM_APS: Sequence[int] = (8, 50, 200, 400)
+#: Nearest-AP probes per deployment size (evenly spaced along the road).
+BENCH_PROBES = 256
+
+#: Fleet speed for the gate runs — fast enough that every client
+#: crosses at least one shard boundary within the run.
+GATE_SPEED_MPH = 25.0
+#: Following-distance between fleet clients (metres).
+GATE_GAP_M = 8.0
+
+
+def _fleet_tracks(config: TestbedConfig, fleet: int) -> List[VehicleTrack]:
+    """``fleet`` clients in single file, entering from the road head."""
+    road = Road(length_m=config.road_length_m())
+    return [
+        VehicleTrack(
+            road,
+            start_x=config.client_start_x_m - i * GATE_GAP_M,
+            speed_mph=GATE_SPEED_MPH,
+        )
+        for i in range(fleet)
+    ]
+
+
+def run_schedule(
+    seed: int,
+    num_shards: int = 2,
+    fleet: int = 1,
+    duration_s: float = 8.0,
+    num_aps: int = 8,
+    ha: bool = False,
+) -> Dict:
+    """One sharded drive-by: a fleet crosses shard boundaries while the
+    sharded invariant checker audits every handoff."""
+    config = shard_corridor_config(
+        num_shards=num_shards,
+        num_aps=num_aps,
+        seed=seed,
+        shard=ShardConfig(num_shards=num_shards, ha_enabled=ha),
+    )
+    config.client_tracks = _fleet_tracks(config, fleet)
+    testbed = Testbed(config)
+    checker = testbed.install_invariant_checker()
+
+    sinks = []
+    for index in range(fleet):
+        testbed.add_downlink_udp_flow(index, rate_bps=4e6)[0].start()
+        source, sink = testbed.add_uplink_udp_flow(index, rate_bps=1e6)
+        source.start()
+        sinks.append(sink)
+
+    testbed.run_seconds(duration_s)
+    report = checker.finish()
+
+    manager = testbed.shard_manager
+    controllers = [shard.active_controller() for shard in manager.shards]
+    uplink_delivered = [len(sink.arrivals) for sink in sinks]
+
+    outcome = {
+        "seed": seed,
+        "num_shards": num_shards,
+        "num_aps": num_aps,
+        "fleet": fleet,
+        "per_shard_ha": ha,
+        "handoffs_initiated": manager.stats["handoffs_initiated"],
+        "handoffs_completed": manager.stats["handoffs_completed"],
+        "handoffs_abandoned": manager.stats["handoffs_abandoned"],
+        "handoff_retries": manager.stats["handoff_retries"],
+        "handoff_duplicates": manager.stats["handoff_duplicates"],
+        "handoff_bytes": manager.stats["handoff_bytes"],
+        "downlink_lost": manager.stats["downlink_lost"],
+        "downlink_unowned": manager.stats["downlink_unowned"],
+        "dedup_suppressed": sum(
+            c.dedup.duplicates for c in controllers if c is not None
+        ),
+        "uplink_unowned": sum(
+            c.stats["uplink_unowned"] for c in controllers if c is not None
+        ),
+        "switches": sum(
+            len(c.coordinator.history) for c in controllers if c is not None
+        ),
+        "ap_index_queries": testbed.ap_index.queries,
+        "ap_index_scanned": testbed.ap_index.scanned,
+        "invariant_checks": report["checks"],
+        "invariant_violations": report["counts"],
+        "violations": report["violations"],
+        "uplink_delivered": uplink_delivered,
+    }
+    outcome["ok"] = bool(
+        report["ok"]
+        and report["counts"]["no-duplicate-delivery"] == 0
+        and manager.stats["handoffs_completed"] >= 1
+        and manager.stats["handoffs_abandoned"] == 0
+        and all(delivered > 0 for delivered in uplink_delivered)
+    )
+    return outcome
+
+
+def outcome_digest(outcome: Dict) -> str:
+    """Canonical digest of everything a deterministic rerun must repeat."""
+    payload = json.dumps(outcome, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# candidate-set cost bench: grid index vs linear scan, 8 -> 400 APs
+# ----------------------------------------------------------------------
+
+
+def candidate_set_bench(
+    num_aps_list: Sequence[int] = BENCH_NUM_APS, probes: int = BENCH_PROBES
+) -> Dict:
+    """Per-query candidate-set cost of nearest-AP lookup vs AP count.
+
+    Builds the *production* :class:`ApGridIndex` (same mount positions
+    the scenario builder registers) for each deployment size and probes
+    it at ``probes`` evenly spaced road positions.  ``scanned`` counts
+    candidates whose distance was actually computed — the legacy linear
+    ``min()`` computes all N per query by construction.  Everything here
+    is deterministic: no wall-clock timing, just operation counts.
+    """
+    rows = []
+    for num_aps in num_aps_list:
+        config = TestbedConfig(num_aps=num_aps)
+        index = ApGridIndex()
+        for i, x in enumerate(config.ap_xs()):
+            index.add(
+                f"ap{i}",
+                Position(x, -config.ap_setback_m, config.ap_height_m),
+            )
+        length = config.road_length_m()
+        for k in range(probes):
+            index.nearest(Position(length * k / (probes - 1), 0.0, 1.5))
+        rows.append(
+            {
+                "num_aps": num_aps,
+                "probes": index.queries,
+                "grid_scanned_per_query": round(
+                    index.scanned / index.queries, 3
+                ),
+                "linear_scanned_per_query": float(num_aps),
+            }
+        )
+    smallest, largest = rows[0], rows[-1]
+    growth = (
+        largest["grid_scanned_per_query"] / smallest["grid_scanned_per_query"]
+    )
+    return {
+        "probes_per_size": probes,
+        "rows": rows,
+        "grid_cost_growth_8_to_max": round(growth, 3),
+        # "Flat" claim: grid cost may not even double while the linear
+        # cost grows with N (50x here).
+        "flat": growth < 2.0,
+    }
+
+
+def bench(path: Optional[str] = None) -> Dict:
+    """The committed PR artifact: candidate-set scaling plus one
+    end-to-end sharded gate run per bracketed deployment size."""
+    result = {
+        "bench": "pr10-shard-candidate-set",
+        "candidate_set": candidate_set_bench(),
+        "gate_runs": [
+            run_schedule(3, num_shards=2, fleet=2, num_aps=8),
+            run_schedule(3, num_shards=4, fleet=2, num_aps=24),
+        ],
+    }
+    result["ok"] = bool(
+        result["candidate_set"]["flat"]
+        and all(r["ok"] for r in result["gate_runs"])
+    )
+    if path is not None:
+        with open(path, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return result
+
+
+@register_experiment(
+    "ext_shard",
+    "sharded control plane: inter-shard handoffs vs runtime invariants",
+    smoke="run_smoke",
+)
+def run(quick: bool = True, jobs: Optional[int] = None) -> Dict:
+    """Sweep shard count x fleet size; every cell must pass the gate."""
+    if quick:
+        grid = [
+            (seed, shards, fleet, 8.0, aps)
+            for seed in (3,)
+            for shards, fleet, aps in (
+                (2, 1, 8),
+                (2, 4, 8),
+                (3, 2, 12),
+            )
+        ]
+    else:
+        grid = [
+            (seed, shards, fleet, 10.0, aps)
+            for seed in (3, 4)
+            for shards, fleet, aps in (
+                (2, 1, 8),
+                (2, 4, 8),
+                (3, 2, 12),
+                (4, 4, 24),
+                (6, 8, 48),
+            )
+        ]
+    outcomes = list(run_grid(run_schedule, grid, jobs=jobs))
+    failed = [o for o in outcomes if not o["ok"]]
+    return {
+        "cells": len(outcomes),
+        "ok": not failed,
+        "failed": failed,
+        "handoffs_completed": sum(o["handoffs_completed"] for o in outcomes),
+        "handoffs_abandoned": sum(o["handoffs_abandoned"] for o in outcomes),
+        "duplicate_deliveries": sum(
+            o["invariant_violations"]["no-duplicate-delivery"]
+            for o in outcomes
+        ),
+        "violations": [v for o in outcomes for v in o["violations"]],
+        "candidate_set": candidate_set_bench(num_aps_list=(8, 50, 200)),
+        "rows": outcomes,
+    }
+
+
+# ----------------------------------------------------------------------
+# CI smoke: one fleet crossing per topology + double-run determinism,
+# hard pass/fail
+# ----------------------------------------------------------------------
+
+
+def run_smoke(seed: int = 3, duration_s: float = 8.0) -> Dict:
+    """Small gate: two topologies (flat shards, per-shard HA), schedule
+    #1 run twice and required to produce the identical outcome digest."""
+    first = run_schedule(
+        seed, num_shards=2, fleet=2, duration_s=duration_s, num_aps=8
+    )
+    ha_run = run_schedule(
+        seed + 1,
+        num_shards=2,
+        fleet=1,
+        duration_s=duration_s,
+        num_aps=8,
+        ha=True,
+    )
+    rerun = run_schedule(
+        seed, num_shards=2, fleet=2, duration_s=duration_s, num_aps=8
+    )
+    outcomes = [first, ha_run]
+    deterministic = outcome_digest(rerun) == outcome_digest(first)
+    candidate_set = candidate_set_bench(num_aps_list=(8, 200), probes=64)
+    ok = (
+        all(o["ok"] for o in outcomes)
+        and deterministic
+        and candidate_set["flat"]
+    )
+    return {
+        "ok": ok,
+        "cells": len(outcomes),
+        "deterministic": deterministic,
+        "digest": outcome_digest(first),
+        "handoffs_completed": sum(o["handoffs_completed"] for o in outcomes),
+        "duplicate_deliveries": sum(
+            o["invariant_violations"]["no-duplicate-delivery"]
+            for o in outcomes
+        ),
+        "candidate_set": candidate_set,
+        "violations": [v for o in outcomes for v in o["violations"]],
+        "rows": outcomes,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ext_shard",
+        description="sharded control plane gate + candidate-set bench",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI subset + determinism check; exit 1 on breach")
+    parser.add_argument("--bench", metavar="PATH", nargs="?",
+                        const="BENCH_PR10.json", default=None,
+                        help="write the candidate-set bench artifact "
+                        "(default %(const)s) and exit")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--full", action="store_true")
+    parser.add_argument("--jobs", type=int, default=1)
+    args = parser.parse_args(argv)
+    if args.bench is not None:
+        result = bench(path=args.bench)
+        print(json.dumps(result, indent=2, default=str))
+        return 0 if result["ok"] else 1
+    if args.smoke:
+        result = run_smoke(seed=args.seed)
+        print(json.dumps(result, indent=2, default=str))
+        return 0 if result["ok"] else 1
+    result = run(quick=not args.full, jobs=args.jobs)
+    print(json.dumps(result, indent=2, default=str))
+    return 0 if result["ok"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

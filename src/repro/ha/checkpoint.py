@@ -40,6 +40,10 @@ from repro.core.assoc_sync import AssociationDirectory, StaInfo
 #: that left before the failover; found by repro.analysis CKP001).
 CHECKPOINT_VERSION = 2
 
+#: Layout version of the *per-client* state slice that rides an
+#: inter-shard handoff message; merge refuses mismatches.
+CLIENT_STATE_VERSION = 1
+
 
 @dataclass
 class ControllerCheckpoint:
@@ -237,3 +241,135 @@ def restore_controller(controller, checkpoint: ControllerCheckpoint) -> None:
             controller._schedule_failover_retry(
                 client_id, deadline_us=int(deadline)
             )
+
+
+# -- per-client state transfer (inter-shard handoff) ------------------
+#
+# A whole-controller checkpoint moves one controller's state to its own
+# warm standby.  An inter-shard handoff moves exactly *one client's*
+# slice of that state to a different controller: the selection windows
+# accumulated for the client, its serving-map entry, its index cursor,
+# its slice of the dedup window, and the last-heard table — everything
+# the receiving shard needs to continue the client's session without a
+# fresh association or a duplicate upstream delivery.
+
+
+def extract_client_state(controller, client_id: str) -> dict:
+    """One client's controller-side state, in JSON-native shapes.
+
+    Read-only, and must run *before* ``deregister_client`` on the
+    sending side: deregistration aborts any in-flight switch and drops
+    the very state being captured.  The in-flight switch record (if
+    any) is carried for audit — the receiving shard does not resume it,
+    because the handshake's target APs belong to the sending shard.
+    """
+    client = controller._clients[client_id]
+    sta = None
+    if controller.directory.is_associated(client_id):
+        sta = _sta_to_state(controller.directory.get(client_id))
+    selection_timer = controller._selection_timers.get(client_id)
+    retry_timer = controller._retry_timers.get(client_id)
+    heard = controller._last_heard.get(client_id, {})
+    src_bits = hash(client_id) & 0xFFFFFFFF
+    return {
+        "version": CLIENT_STATE_VERSION,
+        "client": client_id,
+        "extracted_at_us": controller._sim.now,
+        "from_controller": controller.controller_id,
+        "state": client.to_state(),
+        "sta": sta,
+        "selector": {
+            ap_id: [[int(t), float(v)] for t, v in entries]
+            for ap_id, entries in controller.selector.client_snapshot(
+                client_id
+            ).items()
+        },
+        "dedup_keys": controller.dedup.keys_for_src(src_bits),
+        "index_cursor": controller._index_alloc.peek(client_id),
+        "last_heard": {
+            ap_id: [int(t), float(v)] for ap_id, (t, v) in heard.items()
+        },
+        "selection_deadline_us": (
+            selection_timer.deadline_us
+            if selection_timer is not None and selection_timer.armed
+            else None
+        ),
+        "retry_deadline_us": (
+            retry_timer.deadline_us
+            if retry_timer is not None and retry_timer.armed
+            else None
+        ),
+        "pending_switch": controller.coordinator.snapshot()["pending"].get(
+            client_id
+        ),
+    }
+
+
+def client_state_to_bytes(state: dict) -> bytes:
+    """Canonical JSON bytes of a per-client slice (wire payload)."""
+    return json.dumps(
+        state, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def client_state_from_bytes(data: bytes) -> dict:
+    return json.loads(data.decode("utf-8"))
+
+
+def merge_client_state(controller, state: dict, serving_ap=None) -> bool:
+    """Graft a transferred client slice into ``controller``.
+
+    Returns False (a no-op) if the controller already tracks the
+    client — handoff retransmissions make duplicate arrivals routine,
+    and merging twice would double state.  ``serving_ap`` overrides the
+    transferred serving AP with one the receiving shard actually owns.
+
+    State the receiving controller accumulated on its own — CSI windows
+    and last-heard entries its APs overheard while the client
+    approached the boundary — wins over the transferred copies (see
+    :meth:`ApSelector.restore_client`).  The transferred retry deadline
+    and pending switch are *not* re-armed: both reference the sending
+    shard's APs.
+    """
+    if state["version"] != CLIENT_STATE_VERSION:
+        raise ValueError(
+            f"client state version {state['version']} != "
+            f"supported {CLIENT_STATE_VERSION}"
+        )
+    client_id = state["client"]
+    if client_id in controller._clients:
+        return False
+    from repro.core.controller import ClientState  # cycle-free at runtime
+
+    client = ClientState.from_state(state["state"])
+    if serving_ap is not None:
+        client.serving_ap = serving_ap
+    if state["sta"] is not None:
+        controller.directory.admit(_sta_from_state(state["sta"]))
+    controller.selector.restore_client(
+        client_id,
+        {
+            ap_id: [(int(t), float(v)) for t, v in entries]
+            for ap_id, entries in state["selector"].items()
+        },
+    )
+    controller.dedup.merge_keys(state["dedup_keys"])
+    controller._index_alloc.set_cursor(client_id, int(state["index_cursor"]))
+    heard = controller._last_heard.setdefault(client_id, {})
+    for ap_id in sorted(state["last_heard"]):
+        t, v = state["last_heard"][ap_id]
+        heard.setdefault(ap_id, (int(t), float(v)))
+    if not heard:
+        del controller._last_heard[client_id]
+    # A client handed back after departing elsewhere is live again.
+    controller._departed_at.pop(client_id, None)
+    controller._clients[client_id] = client
+    controller._publish_serving(client_id, client.serving_ap)
+    deadline = state["selection_deadline_us"]
+    if deadline is not None:
+        controller._start_selection_loop(
+            client_id, first_deadline_us=int(deadline)
+        )
+    else:
+        controller._start_selection_loop(client_id)
+    return True

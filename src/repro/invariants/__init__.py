@@ -18,10 +18,12 @@ from repro.invariants.checker import (
     InvariantChecker,
     InvariantViolation,
 )
+from repro.invariants.shard import ShardInvariantChecker
 
 __all__ = [
     "DEFAULT_INTERVAL_US",
     "DEFAULT_RECONVERGE_SLACK_US",
     "InvariantChecker",
     "InvariantViolation",
+    "ShardInvariantChecker",
 ]

@@ -1,0 +1,204 @@
+"""Invariant checking for the sharded control plane.
+
+Reuses the :class:`~repro.invariants.checker.InvariantChecker`
+machinery (trace subscription, probe cadence, episode bookkeeping,
+metrics shape) with shard-aware probes:
+
+``single-owner-shard``
+    Every client is tracked by at most one shard's active controller,
+    and when tracked, by the shard the manager's ownership map names.
+    Brief untracked windows (a handoff in backhaul flight) are legal;
+    double-tracking never is.
+``single-active-controller``
+    Checked per shard: each region's HA pair has at most one
+    controller in an active role.
+``single-serving-ap``
+    The global serving-duty invariant, with shard-aware excuses: a
+    handoff in flight, the owning shard's handshake in progress, or
+    dead/unreachable holders (resolved against the holder's own
+    region controller).
+``switch-span-terminates``
+    Aggregated over every shard's active controller.
+``no-duplicate-delivery`` / ``bounded-retry-storm``
+    Trace-fed, inherited unchanged — crucially, duplicate delivery is
+    audited on the *merged* server ingress stream, so a copy delivered
+    by two different shards is caught exactly like one that escaped a
+    single controller's dedup window.
+
+``monotonic-serving-gen`` is deliberately absent: serving generations
+are scoped to one controller incarnation, and a client that hands off
+legitimately restarts its generation sequence on the new shard.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.invariants.checker import InvariantChecker
+
+
+class ShardInvariantChecker(InvariantChecker):
+    """Trace-fed + probe-based checker for a sharded testbed."""
+
+    INVARIANTS: Tuple[str, ...] = (
+        "bounded-retry-storm",
+        "no-duplicate-delivery",
+        "single-active-controller",
+        "single-owner-shard",
+        "single-serving-ap",
+        "switch-span-terminates",
+    )
+
+    TRACE_NAMES: Tuple[str, ...] = (
+        "uplink-deliver",
+        "switch-retry",
+    )
+
+    def __init__(self, testbed, **kwargs):
+        super().__init__(testbed, **kwargs)
+        if testbed.shard_manager is None:
+            raise ValueError(
+                "ShardInvariantChecker requires a sharded testbed"
+            )
+        self._manager = testbed.shard_manager
+        self._ap_shard: Dict[str, int] = {
+            ap_id: k
+            for k, shard in enumerate(self._manager.shards)
+            for ap_id in shard.aps
+        }
+
+    # ------------------------------------------------------------------
+    # probes
+    # ------------------------------------------------------------------
+
+    def _probe(self) -> None:
+        self.checks += 1
+        self._probe_single_active_per_shard()
+        self._probe_single_owner_shard()
+        # active=None: the shard-aware _overlap_excused below ignores it.
+        self._probe_single_serving(None)
+        self._probe_switch_spans_sharded()
+
+    def _probe_single_active_per_shard(self) -> None:
+        violating: Set[str] = set()
+        for k, shard in enumerate(self._manager.shards):
+            actives = [
+                c.controller_id
+                for c in shard.controllers()
+                if c.alive
+                and getattr(c, "role", "primary") in ("primary", "active")
+            ]
+            if len(actives) > 1:
+                subject = f"shard{k}"
+                violating.add(subject)
+                self._violate_once(
+                    "single-active-controller",
+                    subject,
+                    (
+                        f"shard {k} has {len(actives)} active "
+                        f"controllers at once: {sorted(actives)}"
+                    ),
+                )
+        self._flagged = {
+            key
+            for key in self._flagged
+            if key[0] != "single-active-controller" or key[1] in violating
+        }
+
+    def _probe_single_owner_shard(self) -> None:
+        manager = self._manager
+        tracked: Dict[str, List[int]] = {}
+        for k, shard in enumerate(manager.shards):
+            ctrl = shard.active_controller()
+            if ctrl is None or not ctrl.alive:
+                continue
+            for client in ctrl._clients:
+                tracked.setdefault(client, []).append(k)
+        violating: Set[str] = set()
+        for client in sorted(tracked):
+            holders = tracked[client]
+            owner = manager.owner_of(client)
+            if len(holders) > 1:
+                violating.add(client)
+                self._violate_once(
+                    "single-owner-shard",
+                    client,
+                    (
+                        f"{client} tracked by {len(holders)} shard "
+                        f"controllers at once ({holders}); owner map "
+                        f"says shard {owner}"
+                    ),
+                )
+            elif owner is not None and holders[0] != owner:
+                violating.add(client)
+                self._violate_once(
+                    "single-owner-shard",
+                    client,
+                    (
+                        f"{client} tracked by shard {holders[0]} but "
+                        f"the ownership map names shard {owner}"
+                    ),
+                )
+        self._flagged = {
+            key
+            for key in self._flagged
+            if key[0] != "single-owner-shard" or key[1] in violating
+        }
+
+    def _overlap_excused(
+        self, active, client: str, holders: List[str]
+    ) -> bool:
+        manager = self._manager
+        if manager.handoff_in_flight(client):
+            return True  # duty is legitimately moving between shards
+        owner = manager.owner_of(client)
+        if owner is None:
+            return True  # departing: teardown is racing the probe
+        owner_ctrl = manager.shards[owner].active_controller()
+        if owner_ctrl is None or not owner_ctrl.alive:
+            return True  # no authority exists to reconcile the overlap
+        if owner_ctrl.coordinator.busy(client):
+            return True  # mid-handshake within the owning shard
+        backhaul = self._testbed.backhaul
+        for ap_id in holders:
+            ctrl = manager.shards[self._ap_shard[ap_id]].active_controller()
+            if ctrl is None or not ctrl.alive:
+                return True
+            if ap_id in ctrl.dead_aps():
+                return True
+            if backhaul.unreachable(
+                ctrl.controller_id, ap_id
+            ) or backhaul.unreachable(ap_id, ctrl.controller_id):
+                return True
+        return False
+
+    def _probe_switch_spans_sharded(self) -> None:
+        now = self._sim.now
+        bound = self._switch_age_bound_us()
+        live: Set[str] = set()
+        for shard in self._manager.shards:
+            active = shard.active_controller()
+            if active is None or not active.alive:
+                continue
+            coordinator = active.coordinator
+            for client_id in sorted(coordinator._pending):
+                pending = coordinator._pending[client_id]
+                subject = f"{client_id}/{pending.switch_id}"
+                live.add(subject)
+                started = max(pending.record.started_us, active.epoch_us)
+                age = now - started
+                if age > bound:
+                    self._violate_once(
+                        "switch-span-terminates",
+                        subject,
+                        (
+                            f"switch {pending.switch_id} for {client_id} "
+                            f"pending {age}us, past the {bound}us "
+                            f"retransmission envelope"
+                        ),
+                    )
+        self._flagged = {
+            key
+            for key in self._flagged
+            if key[0] != "switch-span-terminates" or key[1] in live
+        }

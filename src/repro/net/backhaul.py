@@ -36,6 +36,12 @@ DEFAULT_LOSS_SEED = 0xB10C1055
 #: partition) still drop them.  Keeping the exemption kind-based means
 #: the loss stream's draw sequence over data/control traffic is
 #: unchanged whether liveness or HA messaging is active.
+#: The inter-shard handoff kinds ("shard-handoff", "shard-handoff-ack")
+#: are deliberately NOT in this set: a client-state transfer between
+#: shard controllers is subject to loss and the message-level adversary
+#: exactly like the switch handshake it resembles, and the shard
+#: manager carries its own ack + retransmission + abandon schedule
+#: (see repro.shard.handoff) instead of leaning on transport magic.
 RELIABLE_KINDS: FrozenSet[str] = frozenset(
     {"heartbeat", "ctrl-heartbeat", "ha-checkpoint", "ctrl-takeover"}
 )

@@ -80,6 +80,11 @@ TRACE_NAMES: Dict[str, Tuple[str, ...]] = {
     "replay-tx": ("backhaul",),
     "serving-relinquish": ("ap",),
     "serving-update": ("controller",),
+    "shard-handoff-abandon": ("shard",),
+    "shard-handoff-ack": ("shard",),
+    "shard-handoff-in": ("shard",),
+    "shard-handoff-out": ("shard",),
+    "shard-handoff-retry": ("shard",),
     "stale-ack": ("controller",),
     "stale-ctrl-epoch": ("ap",),
     "stale-serving-claim": ("controller",),

@@ -3,15 +3,23 @@
 The testbed of Figure 9 is not uniformly spaced: APs 2–4 sit densely
 while APs 5–7 are sparse. These helpers produce the layouts and
 multi-client driving patterns (Figure 19) the evaluation uses.
+
+Every preset is *declarative*: it returns a plain
+:class:`~repro.scenarios.testbed.TestbedConfig` spec — nothing is
+built until the spec is handed to ``Testbed(config)`` (equivalently
+``ScenarioBuilder(config).build()``).  The :data:`PRESETS` registry
+maps CLI-friendly names to these factories; ``python -m repro drive
+--preset <name>`` resolves through it.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, Dict, List
 
 from repro.mobility.road import Road
 from repro.mobility.vehicle import VehicleTrack
 from repro.scenarios.testbed import TestbedConfig
+from repro.shard.config import ShardConfig
 
 #: Figure-9-style layout: a dense cluster (AP1–AP4) then a sparse tail
 #: (AP5–AP7). Distances in metres along the road.
@@ -103,3 +111,48 @@ def multi_client_config(
         for i in range(count)
     ]
     return config
+
+
+def shard_corridor_config(
+    num_shards: int = 2, num_aps: int = 16, **overrides
+) -> TestbedConfig:
+    """A city-scale corridor split into contiguous AP-cluster shards.
+
+    Each shard runs its own controller; clients crossing a shard
+    boundary hand off via the checkpoint-based inter-shard protocol
+    (``repro.shard``).  Tune the partition via ``shard=ShardConfig(...)``
+    in ``overrides``.
+    """
+    if "shard" not in overrides:
+        overrides["shard"] = ShardConfig(num_shards=num_shards)
+    return TestbedConfig(
+        num_aps=num_aps, sharding_enabled=True, **overrides
+    )
+
+
+#: CLI-facing preset registry: name -> declarative config factory.
+#: Factories accept ``TestbedConfig`` field overrides as keyword
+#: arguments; presets that pin ``client_tracks`` (following/parallel/
+#: opposing) ignore speed overrides applied after the fact.
+PRESETS: Dict[str, Callable[..., TestbedConfig]] = {
+    "following": following_config,
+    "mixed-density": mixed_density_config,
+    "opposing": opposing_config,
+    "parallel": parallel_config,
+    "shard-corridor": shard_corridor_config,
+    "two-ap": two_ap_config,
+}
+
+
+def preset_names() -> List[str]:
+    return sorted(PRESETS)
+
+
+def preset(name: str, **overrides) -> TestbedConfig:
+    """Resolve a preset by registry name into a config spec."""
+    factory = PRESETS.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown preset {name!r}; available: {preset_names()}"
+        )
+    return factory(**overrides)

@@ -10,8 +10,9 @@ attachment and run helpers — every experiment driver goes through it.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -21,7 +22,7 @@ from repro.baselines.enhanced_80211r import (
     RoamingClientAgent,
     RoamingConfig,
 )
-from repro.channel.antenna import OmniAntenna, ParabolicAntenna
+from repro.channel.antenna import OmniAntenna
 from repro.channel.link import ChannelMap, RadioPort
 from repro.channel.pathloss import LogDistancePathLoss
 from repro.core.access_point import WgttAccessPoint
@@ -38,11 +39,19 @@ from repro.net.backhaul import EthernetBackhaul
 from repro.net.packet import IpIdAllocator, Packet
 from repro.obs.context import ObsConfig, ObsContext
 from repro.obs.metrics import metric_key
+from repro.shard.config import ShardConfig
 from repro.sim.engine import SECOND, Simulator
 from repro.sim.rng import RngRegistry
 from repro.transport.flows import Host
 from repro.transport.tcp import TcpReceiver, TcpSender
 from repro.transport.udp import UdpSink, UdpSource
+
+if TYPE_CHECKING:
+    from repro.ha.cluster import HaCluster
+    from repro.ha.standby import StandbyController
+    from repro.scenarios.builder import RegionSpec
+    from repro.scenarios.spatial import ApGridIndex
+    from repro.shard.manager import ShardManager
 
 #: Default AP x-positions: 7.5 m spacing as measured in §2.
 DEFAULT_AP_SPACING_M = 7.5
@@ -113,6 +122,14 @@ class TestbedConfig:
     #: ``tests/test_perf_equivalence.py``); ``False`` forces the
     #: per-receiver scalar loop everywhere.
     batch_phy: bool = True
+    #: Partition the corridor into AP-cluster shards, each owned by its
+    #: own controller, with inter-shard client handoff (``repro.shard``).
+    #: Off (the default) takes the exact legacy single-controller
+    #: construction path — runs are bit-identical to the pre-shard tree.
+    sharding_enabled: bool = False
+    #: Shard-count / handoff-protocol tunables (consulted only when
+    #: ``sharding_enabled``).
+    shard: ShardConfig = field(default_factory=ShardConfig)
 
     def ap_channel(self, index: int) -> int:
         if self.channel_plan is None:
@@ -120,11 +137,35 @@ class TestbedConfig:
         return self.channel_plan[index % len(self.channel_plan)]
 
     def ap_xs(self) -> List[float]:
+        """AP x-positions, memoized on the geometry inputs.
+
+        Derived per call historically; at city scale (hundreds of APs,
+        consulted by region planning, road sizing and the spatial
+        index) the rebuild cost adds up, so the list is cached against
+        the fields it derives from and invalidated when they change.
+        """
+        key = (
+            None
+            if self.ap_positions_m is None
+            else tuple(self.ap_positions_m),
+            self.num_aps,
+            self.ap_spacing_m,
+            self.first_ap_x_m,
+        )
+        cached: Optional[Tuple[object, Tuple[float, ...]]] = getattr(
+            self, "_ap_xs_cache", None
+        )
+        if cached is not None and cached[0] == key:
+            return list(cached[1])
         if self.ap_positions_m is not None:
-            return list(self.ap_positions_m)
-        return [
-            self.first_ap_x_m + i * self.ap_spacing_m for i in range(self.num_aps)
-        ]
+            xs = list(self.ap_positions_m)
+        else:
+            xs = [
+                self.first_ap_x_m + i * self.ap_spacing_m
+                for i in range(self.num_aps)
+            ]
+        self._ap_xs_cache = (key, tuple(xs))
+        return xs
 
     def road_length_m(self) -> float:
         return self.ap_xs()[-1] + self.first_ap_x_m
@@ -225,145 +266,64 @@ class ClientNode:
 
 
 class Testbed:
-    """A fully wired simulation instance."""
+    """A fully wired simulation instance.
+
+    Construction is delegated to
+    :class:`~repro.scenarios.builder.ScenarioBuilder`, whose stages
+    (substrate, AP bank, control plane, HA, clients, faults,
+    recorders) run in the legacy constructor order — a default config
+    builds the exact same simulation the monolithic ``__init__`` did.
+    """
 
     # Not a pytest test class despite the name.
     __test__ = False
 
+    # Populated by the ScenarioBuilder stages (declared here so the
+    # class remains the single place the testbed's surface is listed).
+    config: TestbedConfig
+    obs: ObsContext
+    sim: Simulator
+    rng: RngRegistry
+    road: Road
+    channel: ChannelMap
+    medium: WirelessMedium
+    backhaul: EthernetBackhaul
+    server_host: Host
+    _server_ip_ids: IpIdAllocator
+    #: Region plan the AP bank was built from (one region per shard;
+    #: a single region for the classic deployment).
+    regions: List["RegionSpec"]
+    ap_ids: List[str]
+    ap_positions: Dict[str, Position]
+    #: Uniform-grid spatial index every nearest-AP query runs on.
+    ap_index: "ApGridIndex"
+    controller: Optional[WgttController]
+    #: Warm standby + cluster glue (built when wgtt.ha_enabled).
+    standby: Optional["StandbyController"]
+    ha: Optional["HaCluster"]
+    wlc: Optional[BaselineWlc]
+    #: Every WGTT AP across all shards (shard-local views live on the
+    #: shard manager's :class:`~repro.shard.manager.Shard` objects).
+    wgtt_aps: Dict[str, WgttAccessPoint]
+    baseline_aps: Dict[str, Baseline80211rAp]
+    #: Sharded control plane (``sharding_enabled``); None keeps every
+    #: helper on the legacy single-controller path.
+    shard_manager: Optional["ShardManager"]
+    clients: List[ClientNode]
+    _next_client_index: int
+    #: Retired ids live here until their deferred radio teardown
+    #: fires (see :meth:`retire_client`).
+    _retiring: Dict[str, ClientNode]
+    clients_retired: int
+    fault_injector: Optional[FaultInjector]
+    #: Installed by :meth:`install_invariant_checker`; None keeps
+    #: the trace stream dormant and the run byte-identical.
+    invariant_checker: Optional[object]
+
     def __init__(self, config: TestbedConfig):
-        if config.scheme not in ("wgtt", "baseline"):
-            raise ValueError(f"unknown scheme {config.scheme!r}")
-        self.config = config
-        self.obs = ObsContext(config.obs)
-        self.sim = Simulator(obs=self.obs)
-        self.rng = RngRegistry(config.seed)
-        road_length = config.road_length_m()
-        self.road = Road(length_m=road_length)
-        self.channel = ChannelMap(
-            self.sim,
-            self.rng,
-            pathloss=config.pathloss,
-            coherence_factor=config.coherence_factor,
-            rician_k_db=config.rician_k_db,
-        )
-        self.medium = WirelessMedium(
-            self.sim, self.channel, batch_phy=config.batch_phy
-        )
-        self.backhaul = EthernetBackhaul(self.sim)
-        self.server_host = Host("server")
-        self._server_ip_ids = IpIdAllocator()
+        from repro.scenarios.builder import ScenarioBuilder
 
-        self.ap_ids: List[str] = []
-        self.ap_positions: Dict[str, Position] = {}
-        self._build_aps()
-
-        self.controller: Optional[WgttController] = None
-        #: Warm standby + cluster glue (built when wgtt.ha_enabled).
-        self.standby: Optional["StandbyController"] = None
-        self.ha: Optional["HaCluster"] = None
-        self.wlc: Optional[BaselineWlc] = None
-        self.wgtt_aps: Dict[str, WgttAccessPoint] = {}
-        self.baseline_aps: Dict[str, Baseline80211rAp] = {}
-        if config.scheme == "wgtt":
-            self._build_wgtt()
-        else:
-            self._build_baseline()
-
-        self.clients: List[ClientNode] = []
-        for index, track in enumerate(self._client_tracks()):
-            self.clients.append(ClientNode(self, index, track))
-        self._next_client_index = len(self.clients)
-        #: Retired ids live here until their deferred radio teardown
-        #: fires (see :meth:`retire_client`).
-        self._retiring: Dict[str, ClientNode] = {}
-        self.clients_retired = 0
-        if config.instant_association:
-            for client in self.clients:
-                self._associate_instantly(client)
-
-        self.fault_injector: Optional[FaultInjector] = None
-        #: Installed by :meth:`install_invariant_checker`; None keeps
-        #: the trace stream dormant and the run byte-identical.
-        self.invariant_checker = None
-        if config.fault_plan is not None:
-            self.install_fault_plan(config.fault_plan)
-
-        self._register_obs_collectors()
-
-    # ------------------------------------------------------------------
-    # construction
-    # ------------------------------------------------------------------
-
-    def _build_aps(self) -> None:
-        config = self.config
-        for i, x in enumerate(config.ap_xs()):
-            ap_id = f"ap{i}"
-            mount = Position(x, -config.ap_setback_m, config.ap_height_m)
-            antenna = ParabolicAntenna(
-                mount=mount,
-                boresight=Position(x, 0.0, 1.5),
-                beamwidth_deg=config.ap_beamwidth_deg,
-            )
-            self.channel.register_port(
-                RadioPort(
-                    ap_id,
-                    antenna,
-                    config.ap_tx_power_dbm,
-                    lambda t, m=mount: m,
-                )
-            )
-            self.ap_ids.append(ap_id)
-            self.ap_positions[ap_id] = mount
-
-    def _build_wgtt(self) -> None:
-        self.controller = WgttController(
-            self.sim, self.backhaul, self.rng, self.config.wgtt
-        )
-        self.controller.on_uplink = self._deliver_uplink
-        for index, ap_id in enumerate(self.ap_ids):
-            ap = WgttAccessPoint(
-                self.sim,
-                self.medium,
-                self.backhaul,
-                self.rng,
-                ap_id,
-                self.config.wgtt,
-            )
-            ap.device.channel = self.config.ap_channel(index)
-            ap.device.start_beaconing()
-            self.wgtt_aps[ap_id] = ap
-            self.controller.add_ap(ap_id)
-        if self.config.wgtt.ha_enabled:
-            self._build_ha()
-        if self.config.channel_plan is not None:
-            self.controller.on_serving_update = self._retune_client
-            if self.standby is not None:
-                self.standby.on_serving_update = self._retune_client
-
-    def _build_ha(self) -> None:
-        """Warm standby + cluster (opt-in: ``wgtt.ha_enabled``)."""
-        from repro.ha.cluster import HaCluster
-        from repro.ha.standby import StandbyController
-
-        self.standby = StandbyController(
-            self.sim,
-            self.backhaul,
-            self.rng,
-            self.config.wgtt,
-            controller_id=self.config.wgtt.standby_id,
-            primary_id=self.controller.controller_id,
-        )
-        self.standby.on_uplink = self._deliver_uplink
-        for ap_id in self.ap_ids:
-            self.standby.add_ap(ap_id)
-        self.ha = HaCluster(
-            self.sim,
-            self.backhaul,
-            self.controller,
-            self.standby,
-            self.config.wgtt,
-        )
-        self.ha.start()
+        ScenarioBuilder(config).construct_into(self)
 
     def _retune_client(self, client_id: str, ap_id: str) -> None:
         """Multi-channel ablation glue: a switch retunes the client."""
@@ -371,29 +331,6 @@ class Testbed:
         for client in self.clients:
             if client.client_id == client_id:
                 client.device.channel = self.config.ap_channel(index)
-
-    def _build_baseline(self) -> None:
-        self.wlc = BaselineWlc(self.sim, self.backhaul)
-        self.wlc.on_uplink = self._deliver_uplink
-        for index, ap_id in enumerate(self.ap_ids):
-            ap = Baseline80211rAp(
-                self.sim, self.medium, self.backhaul, self.rng, ap_id
-            )
-            ap.device.channel = self.config.ap_channel(index)
-            self.baseline_aps[ap_id] = ap
-            self.wlc.add_ap(ap_id)
-
-    def _client_tracks(self) -> List[VehicleTrack]:
-        if self.config.client_tracks is not None:
-            return list(self.config.client_tracks)
-        return [
-            VehicleTrack(
-                self.road,
-                start_x=self.config.client_start_x_m,
-                speed_mph=speed,
-            )
-            for speed in self.config.client_speeds_mph
-        ]
 
     # ------------------------------------------------------------------
     # observability
@@ -418,6 +355,8 @@ class Testbed:
             registry.register_collector(self._collect_ap_metrics)
         if self.ha is not None:
             registry.register_collector(self._collect_ha_metrics)
+        if self.shard_manager is not None:
+            registry.register_collector(self.shard_manager.collect_metrics)
 
     def _collect_backhaul_metrics(self) -> Dict[str, object]:
         stats = self.backhaul.stats
@@ -489,6 +428,8 @@ class Testbed:
             "stale_serving_updates",
             "stale_warm_updates",
             "serving_relinquished",
+            "serving_after_departure",
+            "uplink_unowned",
         }
     )
 
@@ -565,20 +506,25 @@ class Testbed:
         return out
 
     def _nearest_ap(self, client: ClientNode) -> str:
+        """Nearest (live, when known) AP — O(nearby) via the spatial
+        index; result identical to the legacy linear ``min()`` scan."""
         position = client.track.position_at(self.sim.now)
-        candidates = self.ap_ids
         if self.wgtt_aps:
             # Mid-run arrivals (churn) must not be homed onto a crashed
             # AP; at t=0 everything is alive and this filter is a no-op.
-            live = [a for a in self.ap_ids if self.wgtt_aps[a].alive]
-            if live:
-                candidates = live
-        return min(
-            candidates,
-            key=lambda ap: self.ap_positions[ap].distance_to(position),
-        )
+            live = self.ap_index.nearest(
+                position, predicate=lambda ap: self.wgtt_aps[ap].alive
+            )
+            if live is not None:
+                return live
+        best = self.ap_index.nearest(position)
+        assert best is not None  # the AP bank is never empty
+        return best
 
     def _associate_instantly(self, client: ClientNode) -> None:
+        if self.shard_manager is not None:
+            self.shard_manager.associate_instantly(client)
+            return
         first_ap = self._nearest_ap(client)
         if self.config.scheme == "wgtt":
             info = StaInfo(
@@ -630,6 +576,16 @@ class Testbed:
             raise ValueError("the invariant checker targets the WGTT scheme")
         if self.invariant_checker is not None:
             raise RuntimeError("invariant checker already installed")
+        if self.shard_manager is not None:
+            from repro.invariants.shard import ShardInvariantChecker
+
+            shard_checker = ShardInvariantChecker(self, **kwargs)
+            shard_checker.start()
+            self.obs.metrics.register_collector(
+                shard_checker.collect_metrics
+            )
+            self.invariant_checker = shard_checker
+            return shard_checker
         from repro.invariants import InvariantChecker
 
         checker = InvariantChecker(self, **kwargs)
@@ -678,6 +634,9 @@ class Testbed:
             client_id = self.clients[index].client_id
         elif client_index is not None:
             raise ValueError("pass client_index or client_id, not both")
+        if self.shard_manager is not None:
+            self.shard_manager.depart_client(client_id)
+            return
         active = self.active_controller()
         if active is not None:
             active.deregister_client(client_id)
@@ -775,7 +734,9 @@ class Testbed:
     def send_downlink(self, packet: Packet) -> None:
         """Server-side ingress: tag IP-ID, add server latency, route."""
         packet.ip_id = self._server_ip_ids.allocate(packet.src)
-        if self.ha is not None:
+        if self.shard_manager is not None:
+            ingress = self.shard_manager.accept_downlink
+        elif self.ha is not None:
             ingress = self.ha.accept_downlink
         elif self.controller is not None:
             ingress = self.controller.accept_downlink
@@ -904,6 +865,8 @@ class Testbed:
 
     def serving_ap_of(self, client_index: int) -> Optional[str]:
         client_id = self.clients[client_index].client_id
+        if self.shard_manager is not None:
+            return self.shard_manager.serving_ap(client_id)
         if self.controller is not None:
             active = self.active_controller() or self.controller
             return active.serving_ap(client_id)
@@ -912,5 +875,19 @@ class Testbed:
 
 
 def build_testbed(config: TestbedConfig) -> Testbed:
-    """Convenience constructor used throughout examples and benches."""
+    """Deprecated construction shim.
+
+    Construction now flows through
+    :class:`~repro.scenarios.builder.ScenarioBuilder` (``Testbed(config)``
+    delegates to it); this wrapper survives so the historical call
+    sites keep working, but new code should construct ``Testbed`` (or
+    a ``ScenarioBuilder``) directly.
+    """
+    warnings.warn(
+        "repro.scenarios.build_testbed is deprecated; construct "
+        "Testbed(config) directly or use "
+        "repro.scenarios.builder.ScenarioBuilder",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return Testbed(config)

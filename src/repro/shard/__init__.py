@@ -1,0 +1,24 @@
+"""Sharded control plane: contiguous AP-cluster shards, each owned by
+its own controller, with checkpoint-based inter-shard client handoff.
+
+See ``docs/scaling.md`` for the deployment model and protocol.
+"""
+
+from repro.shard.config import ShardConfig
+from repro.shard.handoff import (
+    HANDOFF_ACK_KIND,
+    HANDOFF_KIND,
+    HandoffAck,
+    HandoffMsg,
+)
+from repro.shard.manager import Shard, ShardManager
+
+__all__ = [
+    "HANDOFF_ACK_KIND",
+    "HANDOFF_KIND",
+    "HandoffAck",
+    "HandoffMsg",
+    "Shard",
+    "ShardConfig",
+    "ShardManager",
+]

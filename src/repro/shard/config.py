@@ -1,0 +1,57 @@
+"""Sharded-deployment tunables.
+
+One :class:`ShardConfig` governs how a corridor testbed is partitioned
+into contiguous AP-cluster shards (each owned by its own
+``WgttController``) and how the inter-shard client handoff protocol
+behaves.  The master switch lives on the testbed config
+(``TestbedConfig.sharding_enabled``) so that, off, construction takes
+the exact legacy single-controller path and stays byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ShardConfig:
+    """Tunables of the sharded control plane."""
+
+    #: Contiguous shards the AP corridor is partitioned into.  APs are
+    #: split as evenly as possible, earlier shards taking the remainder.
+    num_shards: int = 2
+
+    #: Cadence of the shard manager's boundary scan — how often client
+    #: positions are checked against shard boundaries to trigger
+    #: inter-shard handoffs.
+    scan_interval_us: int = 20_000
+
+    #: Ack timeout for one ``shard-handoff`` state transfer.  Handoff
+    #: messages ride the lossy backhaul data path (they are *not* in
+    #: ``RELIABLE_KINDS``), so the sending shard retransmits the same
+    #: handoff id until acked.
+    handoff_timeout_us: int = 30_000
+
+    #: Retransmissions before a handoff is abandoned; the client is
+    #: then freshly re-associated in the destination shard (state lost,
+    #: counted — never silently wedged).
+    handoff_retry_limit: int = 5
+
+    #: How far past a shard boundary a client must travel before a
+    #: handoff fires.  Suppresses ping-pong for clients dawdling on the
+    #: boundary line.
+    boundary_hysteresis_m: float = 2.0
+
+    #: Give every shard its own PR-3 warm standby (one
+    #: ``StandbyController`` + ``HaCluster`` per shard).  Off by
+    #: default: a shard controller is then a single point of failure
+    #: for its region only.
+    ha_enabled: bool = False
+
+    def controller_id(self, shard: int) -> str:
+        """Backhaul id of shard ``shard``'s primary controller."""
+        return f"controller-s{shard}"
+
+    def standby_id(self, shard: int) -> str:
+        """Backhaul id of shard ``shard``'s warm standby."""
+        return f"standby-s{shard}"

@@ -1,0 +1,625 @@
+"""Sharded control plane: per-region controllers + inter-shard handoff.
+
+The corridor is partitioned into contiguous AP-cluster regions
+(:class:`~repro.scenarios.builder.RegionSpec`); each region gets its
+own :class:`~repro.core.controller.WgttController` (optionally with a
+warm standby, ``ShardConfig.ha_enabled``).  The
+:class:`ShardManager` owns the pieces a single controller used to own
+globally:
+
+* **ownership** — every client belongs to exactly one shard; both
+  controllers near a boundary decode the client's frames, so each
+  controller carries an ownership gate (``owns_client``) that drops
+  unowned uplinks *before* de-duplication, keeping upstream delivery
+  single-copy;
+* **inter-shard handoff** — a boundary-crossing client's controller
+  state moves between shards via the per-client checkpoint slice
+  (:func:`repro.ha.checkpoint.extract_client_state`), shipped as a
+  lossy ``"shard-handoff"`` backhaul message with ack +
+  retransmission (see :mod:`repro.shard.handoff`);
+* **routing** — server downlink ingress and serving-map queries go to
+  the owning shard's active controller.
+
+Clients are placed by the testbed's spatial AP index
+(:class:`~repro.scenarios.spatial.ApGridIndex`), restricted to the
+owning shard's APs, so candidate-set work stays O(nearby) no matter
+how long the corridor grows.
+
+Sharded scenarios require ``instant_association`` — over-the-air
+association broadcasts sta-sync to every backhaul node, which would
+register the client with every shard at once.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.access_point import WgttAccessPoint
+from repro.core.assoc_sync import StaInfo
+from repro.core.controller import WgttController
+from repro.ha.checkpoint import (
+    client_state_from_bytes,
+    client_state_to_bytes,
+    extract_client_state,
+    merge_client_state,
+)
+from repro.obs.metrics import metric_key
+from repro.shard.handoff import (
+    HANDOFF_ACK_KIND,
+    HANDOFF_ACK_WIRE_BYTES,
+    HANDOFF_KIND,
+    HandoffAck,
+    HandoffMsg,
+)
+from repro.sim.engine import Timer
+
+if TYPE_CHECKING:
+    from repro.scenarios.builder import RegionSpec
+    from repro.scenarios.testbed import ClientNode, Testbed
+
+#: Receiving-side memory of completed handoff ids (duplicate arrivals
+#: are re-acked, never re-merged); bounded FIFO.
+COMPLETED_HANDOFF_CAP = 4096
+
+
+class Shard:
+    """One region's control plane: controller, APs, optional HA pair."""
+
+    def __init__(
+        self, testbed: "Testbed", region: "RegionSpec", manager: "ShardManager"
+    ):
+        self.region = region
+        config = testbed.config
+        self.controller = WgttController(
+            testbed.sim,
+            testbed.backhaul,
+            testbed.rng,
+            config.wgtt,
+            controller_id=region.controller_id,
+        )
+        self.controller.on_uplink = testbed._deliver_uplink
+        #: This shard's APs only (testbed.wgtt_aps is the global union).
+        self.aps: Dict[str, WgttAccessPoint] = {}
+        for offset, ap_id in enumerate(region.ap_ids):
+            ap = WgttAccessPoint(
+                testbed.sim,
+                testbed.medium,
+                testbed.backhaul,
+                testbed.rng,
+                ap_id,
+                config.wgtt,
+                controller_id=region.controller_id,
+            )
+            ap.device.channel = config.ap_channel(
+                region.first_ap_index + offset
+            )
+            ap.device.start_beaconing()
+            self.aps[ap_id] = ap
+            testbed.wgtt_aps[ap_id] = ap
+            self.controller.add_ap(ap_id)
+        self.standby = None
+        self.ha = None
+        if region.standby_id is not None:
+            from repro.ha.cluster import HaCluster
+            from repro.ha.standby import StandbyController
+
+            self.standby = StandbyController(
+                testbed.sim,
+                testbed.backhaul,
+                testbed.rng,
+                config.wgtt,
+                controller_id=region.standby_id,
+                primary_id=region.controller_id,
+            )
+            self.standby.on_uplink = testbed._deliver_uplink
+            for ap_id in region.ap_ids:
+                self.standby.add_ap(ap_id)
+            self.ha = HaCluster(
+                testbed.sim,
+                testbed.backhaul,
+                self.controller,
+                self.standby,
+                config.wgtt,
+            )
+            self.ha.start()
+        # Shard glue on both ends of the (possible) HA pair: the
+        # ownership gate and the handoff-kind dispatch survive a
+        # promotion because the standby is wired identically.
+        for ctrl in self.controllers():
+            ctrl.owns_client = (
+                lambda client_id, _k=region.shard, _c=ctrl: manager._owns(
+                    _k, _c, client_id
+                )
+            )
+            ctrl.on_unhandled = (
+                lambda src, kind, payload, _k=region.shard, _c=ctrl: (
+                    manager._on_controller_unhandled(_k, _c, src, kind, payload)
+                )
+            )
+
+    def controllers(self) -> List[WgttController]:
+        """Primary first, then the standby when HA is on."""
+        out: List[WgttController] = [self.controller]
+        if self.standby is not None:
+            out.append(self.standby)
+        return out
+
+    def active_controller(self) -> Optional[WgttController]:
+        if self.ha is not None:
+            return self.ha.active_controller()
+        return self.controller
+
+
+class _PendingHandoff:
+    """Sending-side record of one un-acked transfer."""
+
+    __slots__ = (
+        "client",
+        "handoff_id",
+        "from_shard",
+        "to_shard",
+        "data",
+        "retries",
+        "timer",
+    )
+
+    def __init__(
+        self,
+        client: str,
+        handoff_id: int,
+        from_shard: int,
+        to_shard: int,
+        data: bytes,
+        timer: Timer,
+    ):
+        self.client = client
+        self.handoff_id = handoff_id
+        self.from_shard = from_shard
+        self.to_shard = to_shard
+        self.data = data
+        self.retries = 0
+        self.timer = timer
+
+
+class ShardManager:
+    """Owns the shards, the client→shard map, and the handoff protocol."""
+
+    def __init__(self, testbed: "Testbed", regions: List["RegionSpec"]):
+        if not testbed.config.instant_association:
+            raise ValueError("sharding requires instant_association")
+        self._testbed = testbed
+        self._sim = testbed.sim
+        self._backhaul = testbed.backhaul
+        self.config = testbed.config.shard
+        self.regions = list(regions)
+        self.shards = [Shard(testbed, region, self) for region in regions]
+        #: Boundary k sits midway between region k's last AP and region
+        #: k+1's first AP.
+        self._boundaries: List[float] = [
+            (regions[k].ap_xs[-1] + regions[k + 1].ap_xs[0]) / 2.0
+            for k in range(len(regions) - 1)
+        ]
+        #: client -> owning shard index (flips at handoff initiation).
+        self._owner: Dict[str, int] = {}
+        #: client -> live ClientNode (position source for placement).
+        self._nodes: Dict[str, "ClientNode"] = {}
+        #: client -> in-flight transfer awaiting ack.
+        self._pending: Dict[str, _PendingHandoff] = {}
+        self._completed: "OrderedDict[int, int]" = OrderedDict()
+        self._next_handoff_id = 1
+        self.stats = {
+            "downlink_lost": 0,
+            "downlink_unowned": 0,
+            "handoff_bytes": 0,
+            "handoff_duplicates": 0,
+            "handoff_retries": 0,
+            "handoffs_abandoned": 0,
+            "handoffs_completed": 0,
+            "handoffs_initiated": 0,
+        }
+        self._scan_timer = Timer(self._sim, self._scan_tick)
+        if self.config.scan_interval_us > 0:
+            self._scan_timer.start(self.config.scan_interval_us)
+
+    # ------------------------------------------------------------------
+    # ownership
+    # ------------------------------------------------------------------
+
+    def _owns(
+        self, shard_idx: int, controller: WgttController, client_id: str
+    ) -> bool:
+        """The per-controller uplink gate.
+
+        Ownership alone is not enough: during a handoff's backhaul
+        flight the receiving shard owns the client but has not merged
+        its dedup window yet, so accepting uplinks there could deliver
+        copies the sending shard already forwarded.  Requiring tracked
+        membership closes that window (a brief uplink blackout, like
+        the real handoff it models).
+        """
+        return (
+            self._owner.get(client_id) == shard_idx
+            and client_id in controller._clients
+        )
+
+    def owner_of(self, client_id: str) -> Optional[int]:
+        return self._owner.get(client_id)
+
+    def handoff_in_flight(self, client_id: str) -> bool:
+        return client_id in self._pending
+
+    def shard_for_x(self, x: float) -> int:
+        return bisect_right(self._boundaries, x)
+
+    def _target_shard(self, x: float, owner: int) -> int:
+        """Boundary crossing with hysteresis (no flapping on a client
+        idling exactly on a boundary)."""
+        idx = self.shard_for_x(x)
+        if idx == owner:
+            return owner
+        margin = self.config.boundary_hysteresis_m
+        if idx > owner:
+            return idx if x > self._boundaries[idx - 1] + margin else owner
+        return idx if x < self._boundaries[idx] - margin else owner
+
+    # ------------------------------------------------------------------
+    # association / departure (testbed entry points)
+    # ------------------------------------------------------------------
+
+    def associate_instantly(self, client: "ClientNode") -> None:
+        client_id = client.client_id
+        position = client.track.position_at(self._sim.now)
+        shard_idx = self.shard_for_x(position.x)
+        self._owner[client_id] = shard_idx
+        self._nodes[client_id] = client
+        self._fresh_associate(client_id, shard_idx)
+
+    def depart_client(self, client_id: str) -> None:
+        pending = self._pending.pop(client_id, None)
+        if pending is not None:
+            pending.timer.stop()
+        self._owner.pop(client_id, None)
+        self._nodes.pop(client_id, None)
+        for shard in self.shards:
+            for ctrl in shard.controllers():
+                if client_id in ctrl._clients:
+                    ctrl.deregister_client(client_id)
+                else:
+                    # Neighbour shards accumulate CSI prewarm state for
+                    # clients they never owned; free it.
+                    ctrl.selector.forget_client(client_id)
+                    ctrl._last_heard.pop(client_id, None)
+
+    def _nearest_shard_ap(self, shard: Shard, position) -> Optional[str]:
+        aps = shard.aps
+        best = self._testbed.ap_index.nearest(
+            position,
+            predicate=lambda ap_id: ap_id in aps and aps[ap_id].alive,
+        )
+        if best is not None:
+            return best
+        return self._testbed.ap_index.nearest(
+            position, predicate=lambda ap_id: ap_id in aps
+        )
+
+    def _fresh_associate(self, client_id: str, shard_idx: int) -> None:
+        """Associate a client with a shard from scratch (t=0 arrival,
+        churn arrival, or an abandoned handoff's self-heal path)."""
+        shard = self.shards[shard_idx]
+        ctrl = shard.active_controller()
+        node = self._nodes.get(client_id)
+        if ctrl is None or node is None:
+            return  # control plane down; the scan loop retries
+        if client_id in ctrl._clients:
+            return
+        position = node.track.position_at(self._sim.now)
+        target = self._nearest_shard_ap(shard, position)
+        if target is None:
+            return
+        info = StaInfo(
+            client=client_id,
+            associated_at_us=self._sim.now,
+            first_ap=target,
+        )
+        for ap in shard.aps.values():
+            if ap.alive:
+                ap.directory.admit(info)
+        ctrl.register_association(info)
+        if shard.standby is not None:
+            shard.standby.directory.admit(info)
+        shard.aps[target].start_serving(client_id)
+
+    # ------------------------------------------------------------------
+    # boundary scan + handoff initiation (sending side)
+    # ------------------------------------------------------------------
+
+    def _scan_tick(self) -> None:
+        now = self._sim.now
+        for client_id in sorted(self._owner):
+            if client_id in self._pending:
+                continue
+            node = self._nodes.get(client_id)
+            if node is None:
+                continue
+            owner = self._owner[client_id]
+            ctrl = self.shards[owner].active_controller()
+            if ctrl is not None and client_id not in ctrl._clients:
+                # Unfinished business (abandoned handoff with the
+                # control plane down, say): re-associate from scratch.
+                self._fresh_associate(client_id, owner)
+                continue
+            if ctrl is not None and ctrl.coordinator.busy(client_id):
+                # Mid-switch-handshake: stop/start messages for this
+                # client are in flight among the shard's APs.  Migrate
+                # at a quiescent instant instead (next tick is 20 ms
+                # away; handshakes finish in single-digit ms) so the
+                # teardown broadcast cannot race a live handshake.
+                continue
+            target = self._target_shard(node.track.position_at(now).x, owner)
+            if target != owner:
+                self._initiate_handoff(client_id, owner, target)
+        self._scan_timer.start(self.config.scan_interval_us)
+
+    def _initiate_handoff(
+        self, client_id: str, from_idx: int, to_idx: int
+    ) -> None:
+        ctrl_from = self.shards[from_idx].active_controller()
+        ctrl_to = self.shards[to_idx].active_controller()
+        if ctrl_from is None or ctrl_to is None:
+            return  # either control plane down; retry next scan
+        if client_id not in ctrl_from._clients:
+            return
+        state = extract_client_state(ctrl_from, client_id)
+        data = client_state_to_bytes(state)
+        # Deregistration aborts any in-flight switch and tells the old
+        # shard's APs to drop the client — state was captured first.
+        ctrl_from.deregister_client(client_id)
+        self._owner[client_id] = to_idx
+        handoff_id = self._next_handoff_id
+        self._next_handoff_id += 1
+        pending = _PendingHandoff(
+            client_id,
+            handoff_id,
+            from_idx,
+            to_idx,
+            data,
+            Timer(
+                self._sim,
+                lambda _c=client_id: self._handoff_timeout(_c),
+            ),
+        )
+        self._pending[client_id] = pending
+        self.stats["handoffs_initiated"] += 1
+        tracer = self._sim.obs.trace
+        if tracer.active:
+            tracer.emit(
+                "shard",
+                "shard-handoff-out",
+                track="shard",
+                client=client_id,
+                handoff_id=handoff_id,
+                from_shard=from_idx,
+                to_shard=to_idx,
+                bytes=len(data),
+            )
+        self._send_handoff(pending)
+
+    def _send_handoff(self, pending: _PendingHandoff) -> None:
+        src = self.shards[pending.from_shard].active_controller()
+        dst = self.shards[pending.to_shard].active_controller()
+        if src is not None and dst is not None:
+            msg = HandoffMsg(
+                client=pending.client,
+                handoff_id=pending.handoff_id,
+                from_shard=pending.from_shard,
+                to_shard=pending.to_shard,
+                state=pending.data,
+            )
+            self._backhaul.send(
+                src.controller_id,
+                dst.controller_id,
+                HANDOFF_KIND,
+                msg,
+                size_bytes=msg.wire_size_bytes,
+            )
+            self.stats["handoff_bytes"] += msg.wire_size_bytes
+        # Armed even when a controller is down: the timeout retries
+        # against whichever controller is active by then.
+        pending.timer.start(self.config.handoff_timeout_us)
+
+    def _handoff_timeout(self, client_id: str) -> None:
+        pending = self._pending.get(client_id)
+        if pending is None:
+            return
+        pending.retries += 1
+        tracer = self._sim.obs.trace
+        if pending.retries > self.config.handoff_retry_limit:
+            del self._pending[client_id]
+            self.stats["handoffs_abandoned"] += 1
+            if tracer.active:
+                tracer.emit(
+                    "shard",
+                    "shard-handoff-abandon",
+                    track="shard",
+                    client=client_id,
+                    handoff_id=pending.handoff_id,
+                    to_shard=pending.to_shard,
+                )
+            # Self-heal: give up on the transferred history and start
+            # the client fresh on the shard that now owns it.
+            self._fresh_associate(client_id, pending.to_shard)
+            return
+        self.stats["handoff_retries"] += 1
+        if tracer.active:
+            tracer.emit(
+                "shard",
+                "shard-handoff-retry",
+                track="shard",
+                client=client_id,
+                handoff_id=pending.handoff_id,
+                retries=pending.retries,
+            )
+        self._send_handoff(pending)
+
+    # ------------------------------------------------------------------
+    # receiving side (via controller.on_unhandled)
+    # ------------------------------------------------------------------
+
+    def _on_controller_unhandled(
+        self,
+        shard_idx: int,
+        controller: WgttController,
+        src: str,
+        kind: str,
+        payload: object,
+    ) -> None:
+        if kind == HANDOFF_KIND:
+            self._handle_handoff(shard_idx, controller, src, payload)
+        elif kind == HANDOFF_ACK_KIND:
+            self._handle_ack(payload)
+
+    def _record_completed(self, handoff_id: int, shard_idx: int) -> None:
+        self._completed[handoff_id] = shard_idx
+        if len(self._completed) > COMPLETED_HANDOFF_CAP:
+            self._completed.popitem(last=False)
+
+    def _send_ack(
+        self, controller: WgttController, dst: str, msg: HandoffMsg
+    ) -> None:
+        self._backhaul.send_control(
+            controller.controller_id,
+            dst,
+            HANDOFF_ACK_KIND,
+            HandoffAck(
+                client=msg.client,
+                handoff_id=msg.handoff_id,
+                to_shard=msg.to_shard,
+            ),
+            size_bytes=HANDOFF_ACK_WIRE_BYTES,
+        )
+
+    def _handle_handoff(
+        self,
+        shard_idx: int,
+        controller: WgttController,
+        src: str,
+        msg: HandoffMsg,
+    ) -> None:
+        shard = self.shards[shard_idx]
+        if msg.handoff_id in self._completed:
+            # Retransmission of a transfer already merged: the ack was
+            # lost, not the handoff.  Never merge twice.
+            self.stats["handoff_duplicates"] += 1
+            self._send_ack(controller, src, msg)
+            return
+        client_id = msg.client
+        node = self._nodes.get(client_id)
+        if node is None:
+            # Departed while the transfer was in flight; ack so the
+            # sender stops retrying, merge nothing.
+            self._record_completed(msg.handoff_id, shard_idx)
+            self._send_ack(controller, src, msg)
+            return
+        position = node.track.position_at(self._sim.now)
+        target = self._nearest_shard_ap(shard, position)
+        if target is None or not shard.aps[target].alive:
+            return  # nothing live to serve from; let the sender retry
+        state = client_state_from_bytes(msg.state)
+        info = StaInfo(
+            client=client_id,
+            associated_at_us=self._sim.now,
+            first_ap=target,
+        )
+        for ap in shard.aps.values():
+            if ap.alive:
+                ap.directory.admit(info)
+        merged = merge_client_state(controller, state, serving_ap=target)
+        if merged:
+            shard.aps[target].start_serving(client_id)
+            if shard.standby is not None:
+                shard.standby.directory.admit(info)
+            self.stats["handoffs_completed"] += 1
+            tracer = self._sim.obs.trace
+            if tracer.active:
+                tracer.emit(
+                    "shard",
+                    "shard-handoff-in",
+                    track="shard",
+                    client=client_id,
+                    handoff_id=msg.handoff_id,
+                    from_shard=msg.from_shard,
+                    to_shard=shard_idx,
+                    serving=target,
+                )
+        self._owner[client_id] = shard_idx
+        self._record_completed(msg.handoff_id, shard_idx)
+        self._send_ack(controller, src, msg)
+
+    def _handle_ack(self, ack: HandoffAck) -> None:
+        pending = self._pending.get(ack.client)
+        if pending is None or pending.handoff_id != ack.handoff_id:
+            return
+        pending.timer.stop()
+        del self._pending[ack.client]
+        tracer = self._sim.obs.trace
+        if tracer.active:
+            tracer.emit(
+                "shard",
+                "shard-handoff-ack",
+                track="shard",
+                client=ack.client,
+                handoff_id=ack.handoff_id,
+                to_shard=ack.to_shard,
+            )
+
+    # ------------------------------------------------------------------
+    # routing (testbed entry points)
+    # ------------------------------------------------------------------
+
+    def accept_downlink(self, packet) -> None:
+        shard_idx = self._owner.get(packet.dst)
+        if shard_idx is None:
+            self.stats["downlink_unowned"] += 1
+            return
+        ctrl = self.shards[shard_idx].active_controller()
+        if ctrl is None:
+            self.stats["downlink_lost"] += 1
+            return
+        ctrl.accept_downlink(packet)
+
+    def serving_ap(self, client_id: str) -> Optional[str]:
+        shard_idx = self._owner.get(client_id)
+        if shard_idx is None:
+            return None
+        ctrl = self.shards[shard_idx].active_controller()
+        return ctrl.serving_ap(client_id) if ctrl is not None else None
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def collect_metrics(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "shard_count": len(self.shards),
+            "shard_handoffs_pending": len(self._pending),
+        }
+        for name in sorted(self.stats):
+            out[f"shard_{name}"] = self.stats[name]
+        index = self._testbed.ap_index
+        out["ap_index_queries"] = index.queries
+        out["ap_index_scanned"] = index.scanned
+        for k, shard in enumerate(self.shards):
+            ctrl = shard.active_controller() or shard.controller
+            out[metric_key("shard_clients", shard=k)] = len(ctrl._clients)
+            out[metric_key("shard_switches", shard=k)] = len(
+                ctrl.coordinator.history
+            )
+            out[metric_key("shard_uplink_unowned", shard=k)] = ctrl.stats[
+                "uplink_unowned"
+            ]
+            out[metric_key("shard_dedup_window", shard=k)] = (
+                ctrl.dedup.window_size()
+            )
+        return out

@@ -594,11 +594,12 @@ def _live_flags():
     from repro.experiments.registry import ExperimentConfig
     from repro.obs.context import ObsConfig
     from repro.scenarios.testbed import TestbedConfig
+    from repro.shard.config import ShardConfig
     from repro.soak.harness import SoakConfig
 
     flags = {}
     for cls in (WgttConfig, ExperimentConfig, ObsConfig, TestbedConfig,
-                SoakConfig):
+                ShardConfig, SoakConfig):
         for field in dataclasses.fields(cls):
             if field.type in ("bool", bool) and isinstance(
                 field.default, bool

@@ -65,3 +65,28 @@ def test_unknown_experiment_rejected():
 def test_command_required():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_drive_preset_shard_corridor(capsys):
+    code = main([
+        "drive", "--preset", "shard-corridor", "--protocol", "udp",
+        "--seconds", "2", "--seed", "3",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "wgtt [shard-corridor] / UDP" in out
+
+
+def test_drive_preset_two_ap(capsys):
+    code = main([
+        "drive", "--preset", "two-ap", "--seconds", "1", "--seed", "3",
+    ])
+    assert code == 0
+    assert "[two-ap]" in capsys.readouterr().out
+
+
+def test_drive_unknown_preset_rejected(capsys):
+    code = main(["drive", "--preset", "nope", "--seconds", "1"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown preset" in err and "shard-corridor" in err

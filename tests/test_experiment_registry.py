@@ -18,6 +18,7 @@ EXPECTED_IDS = {
     "ext_density",
     "ext_faults",
     "ext_ha",
+    "ext_shard",
     "ext_soak",
     "fig02",
     "fig04",
